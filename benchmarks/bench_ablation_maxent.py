@@ -1,0 +1,50 @@
+"""Ablation: Weighted Update (Algorithm 2) vs Maximum Entropy (Appendix A.8)
+as the combiner for λ > 2 queries.
+
+Paper claim to verify: the two combiners achieve almost the same accuracy,
+with Weighted Update being the cheaper one (which is why the paper adopts
+it).
+"""
+
+import time
+
+import numpy as np
+
+from _scale import current_scale, report
+
+from repro.core import HDG
+from repro.datasets import make_dataset
+from repro.metrics import mean_absolute_error
+from repro.queries import WorkloadGenerator, answer_workload
+
+
+def bench_ablation_maxent(benchmark):
+    scale = current_scale()
+    rng = np.random.default_rng(0)
+    dataset = make_dataset("normal", scale.n_users, scale.n_attributes,
+                           scale.domain_size, rng=rng)
+    generator = WorkloadGenerator(scale.n_attributes, scale.domain_size,
+                                  rng=np.random.default_rng(1))
+    queries = generator.random_workload(max(20, scale.n_queries // 2), 4, 0.5)
+    truths = answer_workload(dataset, queries)
+
+    def run():
+        outcomes = {}
+        for method in ("weighted_update", "max_entropy"):
+            mechanism = HDG(1.0, estimation_method=method, seed=0).fit(dataset)
+            start = time.perf_counter()
+            estimates = mechanism.answer_workload(queries)
+            elapsed = time.perf_counter() - start
+            outcomes[method] = (mean_absolute_error(estimates, truths), elapsed)
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["== Ablation: Algorithm 2 combiner =="]
+    for method, (mae, elapsed) in outcomes.items():
+        lines.append(f"{method:16s} MAE={mae:.5f}  answer-time={elapsed:.2f}s")
+    report("ablation_maxent", "\n".join(lines))
+
+    wu_mae, _ = outcomes["weighted_update"]
+    me_mae, _ = outcomes["max_entropy"]
+    # "Almost the same accuracy": within a factor of two of each other.
+    assert wu_mae <= me_mae * 2.0 + 0.01

@@ -1,0 +1,30 @@
+"""Figure 1: MAE vs privacy budget ε for all mechanisms (λ = 2 and 4).
+
+Paper shape to reproduce: every LDP mechanism improves with ε; HIO is the
+worst (often worse than Uni); LHIO beats HIO by about an order of
+magnitude at small ε; TDG and HDG have a clear advantage, with HDG best.
+"""
+
+from _scale import current_scale, report
+
+from repro.experiments import figures
+
+
+def bench_figure_1(benchmark):
+    scale = current_scale()
+
+    def run():
+        return figures.figure_1_vary_epsilon(
+            datasets=scale.datasets, epsilons=scale.epsilons,
+            query_dimensions=(2, 4), n_users=scale.n_users,
+            n_attributes=scale.n_attributes, domain_size=scale.domain_size,
+            n_queries=scale.n_queries, n_repeats=scale.n_repeats, seed=0)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig01_vary_epsilon",
+           figures.format_figure_results(results, "Figure 1: MAE vs epsilon"))
+    # Shape check: HDG beats Uni and HIO at the largest epsilon on every panel.
+    for (dataset, dimension), sweep in results.items():
+        series = sweep.series()
+        assert series["HDG"][-1] < series["Uni"][-1]
+        assert series["HDG"][-1] < series["HIO"][-1]

@@ -1,0 +1,31 @@
+"""Figure 2: MAE vs per-dimension query volume ω.
+
+Paper shape: HDG consistently outperforms the other approaches; LDP
+mechanisms (except HIO) show arch-like MAE trends caused by the
+consistency step (answers near ω = 1 are pinned by the total mass).
+"""
+
+from _scale import current_scale, report
+
+from repro.experiments import figures
+
+
+def bench_figure_2(benchmark):
+    scale = current_scale()
+
+    def run():
+        return figures.figure_2_vary_volume(
+            datasets=scale.datasets, volumes=scale.volumes,
+            query_dimensions=(2,), n_users=scale.n_users,
+            n_attributes=scale.n_attributes, domain_size=scale.domain_size,
+            epsilon=1.0, n_queries=scale.n_queries,
+            n_repeats=scale.n_repeats, seed=0)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig02_vary_volume",
+           figures.format_figure_results(results, "Figure 2: MAE vs volume"))
+    for (dataset, dimension), sweep in results.items():
+        series = sweep.series()
+        # HDG never loses to HIO and beats Uni on at least half the volumes.
+        wins = sum(hdg < uni for hdg, uni in zip(series["HDG"], series["Uni"]))
+        assert wins >= len(series["HDG"]) // 2

@@ -1,0 +1,29 @@
+"""Figure 4: MAE vs number of attributes d.
+
+Paper shape: errors of the LDP mechanisms grow with d (more groups, fewer
+users per group); relative ordering unchanged with HDG best.
+"""
+
+from _scale import current_scale, report
+
+from repro.experiments import figures
+
+
+def bench_figure_4(benchmark):
+    scale = current_scale()
+    attribute_counts = (3, 6, 8) if scale.n_users <= 100_000 else (
+        3, 4, 5, 6, 7, 8, 9, 10)
+
+    def run():
+        return figures.figure_4_vary_attributes(
+            datasets=scale.datasets, attribute_counts=attribute_counts,
+            query_dimensions=(2,), n_users=scale.n_users,
+            domain_size=scale.domain_size, epsilon=1.0, volume=0.5,
+            n_queries=scale.n_queries, n_repeats=scale.n_repeats, seed=0)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig04_vary_attributes",
+           figures.format_figure_results(results, "Figure 4: MAE vs attributes"))
+    for _, sweep in results.items():
+        series = sweep.series()
+        assert series["HDG"][0] <= series["Uni"][0]

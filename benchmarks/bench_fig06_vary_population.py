@@ -1,0 +1,31 @@
+"""Figure 6: MAE vs population n on the synthetic datasets.
+
+Paper shape: a larger population boosts every LDP mechanism's accuracy;
+HDG achieves the best performance throughout.
+"""
+
+from _scale import current_scale, report
+
+from repro.experiments import figures
+
+
+def bench_figure_6(benchmark):
+    scale = current_scale()
+    populations = ((10_000, 40_000, 160_000) if scale.n_users <= 100_000
+                   else (100_000, 1_000_000, 10_000_000))
+
+    def run():
+        return figures.figure_6_vary_population(
+            datasets=("normal",) if scale.n_users <= 100_000 else ("normal", "laplace"),
+            populations=populations, query_dimensions=(2,),
+            n_attributes=scale.n_attributes, domain_size=scale.domain_size,
+            epsilon=1.0, volume=0.5, n_queries=scale.n_queries,
+            n_repeats=scale.n_repeats, seed=0)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig06_vary_population",
+           figures.format_figure_results(results, "Figure 6: MAE vs population"))
+    for _, sweep in results.items():
+        series = sweep.series()
+        # More users -> HDG error shrinks.
+        assert series["HDG"][-1] <= series["HDG"][0]

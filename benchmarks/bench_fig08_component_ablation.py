@@ -1,0 +1,33 @@
+"""Figure 8: component-wise ablation of Phase 2 (ITDG/IHDG vs TDG/HDG).
+
+Paper shape: ITDG and TDG are nearly identical (coarse grids rarely go
+negative); IHDG is unstable and HDG is clearly better and more stable in
+most cases.
+"""
+
+from _scale import current_scale, report
+
+from repro.experiments import figures
+
+
+def bench_figure_8(benchmark):
+    scale = current_scale()
+
+    def run():
+        return figures.figure_8_component_ablation(
+            datasets=scale.datasets[:2], epsilons=scale.epsilons,
+            query_dimensions=(2,), n_users=scale.n_users,
+            n_attributes=scale.n_attributes, domain_size=scale.domain_size,
+            volume=0.5, n_queries=scale.n_queries,
+            n_repeats=scale.n_repeats, seed=0)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig08_component_ablation",
+           figures.format_figure_results(results, "Figure 8: Phase-2 ablation"))
+    for _, sweep in results.items():
+        series = sweep.series()
+        # TDG and ITDG stay within a small factor of each other on average.
+        import numpy as np
+        tdg = np.mean(series["TDG"])
+        itdg = np.mean(series["ITDG"])
+        assert 0.3 < (tdg + 1e-9) / (itdg + 1e-9) < 3.0

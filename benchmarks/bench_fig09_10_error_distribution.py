@@ -1,0 +1,35 @@
+"""Figures 9-10: per-query standard-error distributions of TDG and HDG.
+
+Paper shape: HDG's error distribution is concentrated near zero (errors an
+order of magnitude smaller than TDG's on most datasets).
+"""
+
+import numpy as np
+
+from _scale import current_scale, report
+
+from repro.experiments import appendix
+
+
+def bench_figures_9_10(benchmark):
+    scale = current_scale()
+
+    def run():
+        return appendix.figure_9_10_error_distribution(
+            datasets=scale.datasets[:2], query_dimensions=(2, 4),
+            n_users=scale.n_users, n_attributes=scale.n_attributes,
+            domain_size=scale.domain_size, epsilon=1.0, volume=0.5,
+            n_queries=scale.n_queries, seed=0)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["== Figures 9-10: standard error distributions =="]
+    for (dataset, dimension), panel in results.items():
+        for method, payload in panel.items():
+            errors = payload["errors"]
+            lines.append(f"{dataset} λ={dimension} {method}: "
+                         f"mean={errors.mean():.5f} median={np.median(errors):.5f} "
+                         f"p90={np.quantile(errors, 0.9):.5f} max={errors.max():.5f}")
+    report("fig09_10_error_distribution", "\n".join(lines))
+    for (dataset, dimension), panel in results.items():
+        if dimension == 2:
+            assert panel["HDG"]["errors"].mean() <= panel["TDG"]["errors"].mean()

@@ -1,0 +1,32 @@
+"""Figure 11: MAE over all full 2-D marginal (point) queries.
+
+Paper shape: all mechanisms achieve small absolute errors (the workload is
+point queries); CALM is competitive here (it was designed for marginals),
+HDG remains comparable or better on most datasets.
+"""
+
+from _scale import current_scale, report
+
+from repro.experiments import appendix, figures
+
+
+def bench_figure_11(benchmark):
+    scale = current_scale()
+    # The exhaustive marginal workload has C(d,2) * c^2 queries, so the quick
+    # configuration shrinks the domain and attribute count.
+    quick = scale.n_users <= 100_000
+    domain_size = 16 if quick else 64
+    n_attributes = 4 if quick else 6
+
+    def run():
+        return appendix.figure_11_full_marginals(
+            datasets=scale.datasets[:2], epsilons=scale.epsilons[:3],
+            n_users=scale.n_users, n_attributes=n_attributes,
+            domain_size=domain_size, n_repeats=scale.n_repeats, seed=0)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig11_full_marginals",
+           figures.format_figure_results(results, "Figure 11: full 2-D marginals"))
+    for dataset, sweep in results.items():
+        series = sweep.series()
+        assert series["HDG"][-1] < series["Uni"][-1]

@@ -1,0 +1,31 @@
+"""Figure 12: MAE over all 2-D range queries of volume ω = 0.5.
+
+Paper shape: HDG achieves the best performance across datasets and ε.
+"""
+
+from _scale import current_scale, report
+
+from repro.experiments import appendix, figures
+
+
+def bench_figure_12(benchmark):
+    scale = current_scale()
+    quick = scale.n_users <= 100_000
+    domain_size = 16 if quick else 64
+    n_attributes = 4 if quick else 6
+
+    def run():
+        return appendix.figure_12_full_range(
+            datasets=scale.datasets[:2], epsilons=scale.epsilons[:3],
+            methods=("Uni", "MSW", "CALM", "LHIO", "TDG", "HDG"),
+            n_users=scale.n_users, n_attributes=n_attributes,
+            domain_size=domain_size, volume=0.5,
+            n_repeats=scale.n_repeats, seed=0)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig12_full_range",
+           figures.format_figure_results(results, "Figure 12: full 2-D ranges"))
+    for dataset, sweep in results.items():
+        series = sweep.series()
+        assert series["HDG"][-1] < series["Uni"][-1]
+        assert series["HDG"][-1] < series["CALM"][-1]

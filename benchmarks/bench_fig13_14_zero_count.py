@@ -1,0 +1,43 @@
+"""Figures 13-14: 0-count (ω = 0.3) and non-0-count (ω = 0.7) high-λ queries.
+
+Paper shape: on 0-count queries every mechanism achieves very small error
+(post-processing pulls estimates toward zero); on non-0-count queries HDG
+typically obtains the best results.
+"""
+
+from _scale import current_scale, report
+
+from repro.experiments import appendix, figures
+
+
+def bench_figures_13_14(benchmark):
+    scale = current_scale()
+    quick = scale.n_users <= 100_000
+    n_attributes = 8 if quick else 10
+    dims = (6, 8) if quick else (6, 7, 8, 9, 10)
+    n_queries = max(10, scale.n_queries // 5)
+
+    def run():
+        zero = appendix.figure_13_14_count_conditioned(
+            datasets=scale.datasets[:1], query_dimensions=dims, zero_count=True,
+            methods=("Uni", "MSW", "CALM", "LHIO", "TDG", "HDG"),
+            n_users=scale.n_users, n_attributes=n_attributes,
+            domain_size=scale.domain_size, epsilon=1.0, n_queries=n_queries,
+            n_repeats=scale.n_repeats, seed=0)
+        non_zero = appendix.figure_13_14_count_conditioned(
+            datasets=scale.datasets[:1], query_dimensions=dims, zero_count=False,
+            methods=("Uni", "MSW", "CALM", "LHIO", "TDG", "HDG"),
+            n_users=scale.n_users, n_attributes=n_attributes,
+            domain_size=scale.domain_size, epsilon=1.0, n_queries=n_queries,
+            n_repeats=scale.n_repeats, seed=0)
+        return zero, non_zero
+
+    zero, non_zero = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (figures.format_figure_results(zero, "Figure 13: 0-count queries")
+            + "\n" + figures.format_figure_results(non_zero,
+                                                   "Figure 14: non-0-count queries"))
+    report("fig13_14_zero_count", text)
+    for dataset, sweep in zero.items():
+        series = sweep.series()
+        # All LDP mechanisms achieve small error on 0-count workloads.
+        assert max(series["HDG"]) < 0.2

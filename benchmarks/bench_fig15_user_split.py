@@ -1,0 +1,40 @@
+"""Figure 15: HDG accuracy as the 1-D/2-D user split σ varies.
+
+Paper shape: σ between 0.2 and 0.6 gives consistently good accuracy,
+justifying the default equal-population split σ0 = d / (d + C(d,2)).
+"""
+
+from _scale import current_scale, report
+
+from repro.experiments import appendix
+
+
+def bench_figure_15(benchmark):
+    scale = current_scale()
+    sigmas = (0.1, 0.3, 0.5, 0.7, 0.9) if scale.n_users <= 100_000 else (
+        0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+    epsilons = (0.2, 1.0, 1.8)
+
+    def run():
+        return appendix.figure_15_user_split(
+            datasets=scale.datasets[:2], sigmas=sigmas, epsilons=epsilons,
+            n_users=scale.n_users, n_attributes=scale.n_attributes,
+            domain_size=scale.domain_size, volume=0.5,
+            n_queries=scale.n_queries, n_repeats=scale.n_repeats, seed=0)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["== Figure 15: HDG vs user split sigma =="]
+    for dataset, per_epsilon in results.items():
+        for epsilon, sweep in per_epsilon.items():
+            maes = sweep.series()["HDG"]
+            row = "  ".join(f"{sigma:.1f}:{mae:.4f}"
+                            for sigma, mae in zip(sweep.values, maes))
+            lines.append(f"{dataset} eps={epsilon}: {row}")
+    report("fig15_user_split", "\n".join(lines))
+    # The default-range sigmas (0.2-0.6) should not be far from the best.
+    for dataset, per_epsilon in results.items():
+        for epsilon, sweep in per_epsilon.items():
+            maes = sweep.series()["HDG"]
+            best = min(maes)
+            mid = [mae for sigma, mae in zip(sweep.values, maes) if 0.2 <= sigma <= 0.6]
+            assert min(mid) <= best * 2.5 + 0.01

@@ -1,0 +1,35 @@
+"""Figure 16: guideline verification at d = 4, 8, 10.
+
+Paper shape: same conclusion as Figure 7 — the recommended α1 = 0.7,
+α2 = 0.03 keep HDG close to the best fixed granularity combination for
+every attribute count.
+"""
+
+from _scale import current_scale, report
+
+from repro.experiments import appendix, figures
+
+
+def bench_figure_16(benchmark):
+    scale = current_scale()
+    quick = scale.n_users <= 100_000
+    attribute_counts = (4, 8) if quick else (4, 8, 10)
+    combos = ((8, 2), (16, 4), (32, 8)) if quick else figures.GUIDELINE_COMBINATIONS
+
+    def run():
+        return appendix.figure_16_guideline_d(
+            datasets=scale.datasets[:1], attribute_counts=attribute_counts,
+            epsilons=scale.epsilons[:3], combinations=combos,
+            n_users=scale.n_users, domain_size=scale.domain_size, volume=0.5,
+            n_queries=scale.n_queries, n_repeats=scale.n_repeats, seed=0)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = []
+    for d, per_dataset in results.items():
+        lines.append(figures.format_figure_results(per_dataset,
+                                                   f"Figure 16: guideline at d={d}"))
+    report("fig16_guideline_d", "\n".join(lines))
+    for d, per_dataset in results.items():
+        for dataset, sweep in per_dataset.items():
+            series = sweep.series()
+            assert "HDG" in series

@@ -1,0 +1,44 @@
+"""Figures 17-18: convergence rates of Algorithm 1 and Algorithm 2.
+
+Paper shape: the per-sweep change of both Weighted Update instances drops
+by many orders of magnitude within roughly twenty sweeps.
+"""
+
+from _scale import current_scale, report
+
+from repro.experiments import appendix
+
+
+def bench_figures_17_18(benchmark):
+    scale = current_scale()
+    epsilons = (0.2, 1.0, 1.8)
+
+    def run():
+        matrix = appendix.figure_17_convergence_matrix(
+            datasets=scale.datasets[:2], epsilons=epsilons,
+            n_users=scale.n_users, n_attributes=scale.n_attributes,
+            domain_size=scale.domain_size, max_iterations=50, seed=0)
+        queries = appendix.figure_18_convergence_query(
+            datasets=scale.datasets[:1], epsilons=epsilons, query_dimension=4,
+            n_users=scale.n_users, n_attributes=scale.n_attributes,
+            domain_size=scale.domain_size, volume=0.5,
+            n_queries=max(5, scale.n_queries // 10), max_iterations=60, seed=0)
+        return matrix, queries
+
+    matrix, queries = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["== Figure 17: Algorithm 1 change per sweep =="]
+    for dataset, per_epsilon in matrix.items():
+        for epsilon, history in per_epsilon.items():
+            lines.append(f"{dataset} eps={epsilon}: first={history[0]:.3e} "
+                         f"sweep20={history[min(19, len(history) - 1)]:.3e} "
+                         f"last={history[-1]:.3e}")
+    lines.append("== Figure 18: Algorithm 2 change per sweep ==")
+    for dataset, per_epsilon in queries.items():
+        for epsilon, history in per_epsilon.items():
+            lines.append(f"{dataset} eps={epsilon}: first={history[0]:.3e} "
+                         f"last={history[-1]:.3e}")
+    report("fig17_18_convergence", "\n".join(lines))
+    for dataset, per_epsilon in matrix.items():
+        for epsilon, history in per_epsilon.items():
+            index20 = min(19, len(history) - 1)
+            assert history[index20] < history[0]

@@ -1,0 +1,33 @@
+"""Figures 19-21: ε, ω and d sweeps on the Loan and Acs datasets.
+
+Paper shape: HDG consistently performs better than the baselines on both
+additional real datasets, confirming its robustness across data types.
+"""
+
+from _scale import current_scale, report
+
+from repro.experiments import appendix, figures
+
+
+def bench_figures_19_21(benchmark):
+    scale = current_scale()
+    quick = scale.n_users <= 100_000
+
+    def run():
+        return appendix.figure_19_21_new_datasets(
+            epsilons=scale.epsilons if not quick else scale.epsilons[:3],
+            volumes=scale.volumes if not quick else (0.3, 0.5, 0.7),
+            attribute_counts=(4, 6) if quick else (4, 5, 6, 7, 8, 9, 10),
+            query_dimensions=(2,), n_users=scale.n_users,
+            n_attributes=scale.n_attributes, domain_size=scale.domain_size,
+            n_queries=scale.n_queries, n_repeats=scale.n_repeats, seed=0)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = []
+    for name, per_panel in results.items():
+        lines.append(figures.format_figure_results(per_panel, name))
+    report("fig19_21_new_datasets", "\n".join(lines))
+    epsilon_panels = results["fig19_epsilon"]
+    for (dataset, dimension), sweep in epsilon_panels.items():
+        series = sweep.series()
+        assert series["HDG"][-1] < series["Uni"][-1]

@@ -1,0 +1,29 @@
+"""Figures 23-27: λ = 6 variants of the ε sweep on the synthetic datasets.
+
+Paper shape: the relative ordering of the mechanisms observed at λ = 2, 4
+carries over to λ = 6.
+"""
+
+from _scale import current_scale, report
+
+from repro.experiments import figures
+
+
+def bench_figures_23_27(benchmark):
+    scale = current_scale()
+
+    def run():
+        return figures.figure_1_vary_epsilon(
+            datasets=("normal",) if scale.n_users <= 100_000 else ("normal", "laplace"),
+            epsilons=scale.epsilons[:3], query_dimensions=(6,),
+            n_users=scale.n_users, n_attributes=scale.n_attributes,
+            domain_size=scale.domain_size, volume=0.5,
+            n_queries=max(10, scale.n_queries // 2),
+            n_repeats=scale.n_repeats, seed=0)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig23_27_lambda6",
+           figures.format_figure_results(results, "Figures 23-27: lambda = 6"))
+    for _, sweep in results.items():
+        series = sweep.series()
+        assert series["HDG"][-1] < series["HIO"][-1]

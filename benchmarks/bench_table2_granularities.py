@@ -1,0 +1,47 @@
+"""Table 2: recommended (g1, g2) per (d, lg n, ε) under α1 = 0.7, α2 = 0.03.
+
+This bench regenerates the full table and checks a set of reference cells
+against the values printed in the paper.
+"""
+
+from _scale import current_scale, report
+
+from repro.experiments import figures
+
+#: Reference cells copied from Table 2 of the paper: (d, lg n, ε) -> (g1, g2).
+PAPER_REFERENCE_CELLS = {
+    (3, 6.0, 1.0): (32, 4),
+    (6, 6.0, 0.2): (8, 2),
+    (6, 6.0, 1.0): (16, 4),
+    (6, 6.0, 2.0): (32, 4),
+    (10, 6.0, 0.2): (4, 2),
+    (10, 6.0, 2.0): (32, 4),
+    (6, 5.0, 1.0): (8, 2),
+    (6, 7.0, 1.0): (64, 8),
+    (6, 6.4, 2.0): (64, 8),
+}
+
+
+def bench_table_2(benchmark):
+    epsilons = (0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0)
+    settings = ([(d, 6.0) for d in range(3, 11)]
+                + [(6, lg) for lg in (5.0, 5.2, 5.4, 5.6, 5.8, 6.0, 6.2, 6.4,
+                                      6.6, 6.8, 7.0)])
+
+    def run():
+        return figures.table_2_granularities(epsilons=epsilons, settings=settings)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["== Table 2: recommended (g1, g2) =="]
+    header = "d, lg(n)".ljust(10) + "  ".join(f"{eps:>7}" for eps in epsilons)
+    lines.append(header)
+    for d, lg_n in settings:
+        cells = ["{},{}".format(*table[(d, lg_n, eps)]).rjust(7) for eps in epsilons]
+        lines.append(f"{d}, {lg_n}".ljust(10) + "  ".join(cells))
+    report("table2_granularities", "\n".join(lines))
+
+    mismatches = {key: (table[key], expected)
+                  for key, expected in PAPER_REFERENCE_CELLS.items()
+                  if table[key] != expected}
+    assert not mismatches, f"guideline deviates from Table 2: {mismatches}"

@@ -1,0 +1,77 @@
+"""Census-style analysis: demographic range queries over correlated attributes.
+
+The paper's motivating scenario: an aggregator wants to answer analyst
+questions like "what fraction of people are between 30 and 45 years old,
+earn between 40k and 80k, and work more than 35 hours per week?" without
+ever seeing raw records.  This example uses the census-like (Ipums-style)
+synthetic dataset, fits HDG once, and then answers a batch of hand-written
+analyst queries plus a drill-down sequence, reporting the estimation error
+of each.
+
+Run with:  python examples/census_range_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (HDG, RangeQuery, answer_query, make_dataset)
+
+# Attribute layout of the census-like dataset (domain [0, 64) each, which an
+# analyst would map back to real units).
+AGE, INCOME, HOURS, EDUCATION, HOUSEHOLD, COMMUTE = range(6)
+ATTRIBUTE_NAMES = ["age", "income", "hours", "education", "household", "commute"]
+
+
+def describe(query: RangeQuery) -> str:
+    parts = []
+    for predicate in query.predicates:
+        name = ATTRIBUTE_NAMES[predicate.attribute]
+        parts.append(f"{name}∈[{predicate.low},{predicate.high}]")
+    return " ∧ ".join(parts)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    dataset = make_dataset("ipums", n_users=200_000, n_attributes=6,
+                           domain_size=64, rng=rng)
+    epsilon = 1.0
+    mechanism = HDG(epsilon=epsilon, seed=7).fit(dataset)
+    print(f"collected {dataset.n_users} census-like records under "
+          f"epsilon={epsilon} LDP (g1={mechanism.chosen_g1}, "
+          f"g2={mechanism.chosen_g2})\n")
+
+    # ------------------------------------------------------------------
+    # A batch of analyst questions of increasing dimensionality.
+    # ------------------------------------------------------------------
+    analyst_queries = [
+        RangeQuery.from_dict({AGE: (16, 31)}),
+        RangeQuery.from_dict({AGE: (16, 31), INCOME: (0, 15)}),
+        RangeQuery.from_dict({AGE: (24, 47), INCOME: (16, 47), HOURS: (32, 63)}),
+        RangeQuery.from_dict({AGE: (24, 47), INCOME: (16, 47),
+                              EDUCATION: (32, 63), HOUSEHOLD: (0, 31)}),
+    ]
+    print("analyst questions:")
+    for query in analyst_queries:
+        estimate = mechanism.answer(query)
+        truth = answer_query(dataset, query)
+        print(f"  {describe(query)}")
+        print(f"    estimate={estimate:.4f}  true={truth:.4f}  "
+              f"error={abs(estimate - truth):.4f}")
+
+    # ------------------------------------------------------------------
+    # Drill-down: progressively narrow the income band for a fixed age range
+    # — the kind of interactive exploration LDP answers for free once the
+    # reports are collected.
+    # ------------------------------------------------------------------
+    print("\nincome drill-down for age∈[24,47]:")
+    for width in (64, 32, 16, 8, 4):
+        query = RangeQuery.from_dict({AGE: (24, 47), INCOME: (0, width - 1)})
+        estimate = mechanism.answer(query)
+        truth = answer_query(dataset, query)
+        print(f"  income∈[0,{width - 1}]: estimate={estimate:.4f}  "
+              f"true={truth:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: answer multi-dimensional range queries under LDP with HDG.
+
+This example walks through the full pipeline on a synthetic correlated
+dataset:
+
+1. generate a dataset of user records,
+2. fit the HDG mechanism (the paper's main contribution) — this simulates
+   every user sending a single ε-LDP report,
+3. answer a workload of random range queries from the private summaries,
+4. compare against the exact answers and a few baselines.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (HDG, MSW, TDG, Uniform, WorkloadGenerator, answer_workload,
+                   make_dataset, mean_absolute_error)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Data: 100k users, 4 ordinal attributes with domain [0, 64).
+    # ------------------------------------------------------------------
+    rng = np.random.default_rng(0)
+    dataset = make_dataset("normal", n_users=100_000, n_attributes=4,
+                           domain_size=64, rng=rng)
+    print(f"dataset: {dataset}")
+
+    # ------------------------------------------------------------------
+    # 2. Collection: every user reports once under epsilon-LDP.
+    # ------------------------------------------------------------------
+    epsilon = 1.0
+    mechanism = HDG(epsilon=epsilon, seed=0).fit(dataset)
+    print(f"HDG fitted with guideline granularities "
+          f"g1={mechanism.chosen_g1}, g2={mechanism.chosen_g2}")
+
+    # ------------------------------------------------------------------
+    # 3. Querying: any number of range queries, no further privacy cost.
+    # ------------------------------------------------------------------
+    generator = WorkloadGenerator(dataset.n_attributes, dataset.domain_size,
+                                  rng=np.random.default_rng(1))
+    queries = generator.random_workload(n_queries=100, dimension=2, volume=0.5)
+    estimates = mechanism.answer_workload(queries)
+    truths = answer_workload(dataset, queries)
+
+    print("\nfirst five queries:")
+    for query, estimate, truth in list(zip(queries, estimates, truths))[:5]:
+        print(f"  {query}: estimate={estimate:.4f}  true={truth:.4f}")
+
+    # ------------------------------------------------------------------
+    # 4. Comparison against baselines on the same workload.
+    # ------------------------------------------------------------------
+    print(f"\nMAE over {len(queries)} random 2-D queries (epsilon={epsilon}):")
+    print(f"  HDG : {mean_absolute_error(estimates, truths):.5f}")
+    for baseline in (TDG(epsilon, seed=0), MSW(epsilon, seed=0), Uniform()):
+        baseline.fit(dataset)
+        mae = mean_absolute_error(baseline.answer_workload(queries), truths)
+        print(f"  {baseline.name:4s}: {mae:.5f}")
+
+
+if __name__ == "__main__":
+    main()

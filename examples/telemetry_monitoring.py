@@ -1,0 +1,61 @@
+"""Telemetry monitoring: weakly correlated usage metrics and mechanism choice.
+
+Software telemetry (per-feature session times, counts of actions) is the
+other scenario the paper's introduction motivates.  Telemetry attributes
+are often only weakly correlated — the regime where the simple
+independence-based MSW baseline is competitive — so this example compares
+MSW, TDG and HDG on a Bfive-like (response-time) dataset and on a strongly
+correlated census-like dataset, illustrating when the extra machinery of
+HDG pays off and that it never hurts.
+
+Run with:  python examples/telemetry_monitoring.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (HDG, MSW, TDG, WorkloadGenerator, answer_workload,
+                   make_dataset, mean_absolute_error)
+
+
+def evaluate(dataset_name: str, epsilon: float, seed: int = 0) -> dict[str, float]:
+    rng = np.random.default_rng(seed)
+    dataset = make_dataset(dataset_name, n_users=150_000, n_attributes=6,
+                           domain_size=64, rng=rng)
+    generator = WorkloadGenerator(dataset.n_attributes, dataset.domain_size,
+                                  rng=np.random.default_rng(seed + 1))
+    queries = generator.random_workload(n_queries=100, dimension=3, volume=0.5)
+    truths = answer_workload(dataset, queries)
+    maes = {}
+    for mechanism in (MSW(epsilon, seed=seed), TDG(epsilon, seed=seed),
+                      HDG(epsilon, seed=seed)):
+        mechanism.fit(dataset)
+        estimates = mechanism.answer_workload(queries)
+        maes[mechanism.name] = mean_absolute_error(estimates, truths)
+    return maes
+
+
+def main() -> None:
+    epsilon = 1.0
+    print(f"3-D range queries, epsilon={epsilon}, 150k users\n")
+    gaps = {}
+    for dataset_name, label in (("bfive", "telemetry-like (weak correlation)"),
+                                ("normal", "strongly correlated metrics (cov 0.8)")):
+        maes = evaluate(dataset_name, epsilon)
+        print(f"{label}:")
+        for method, mae in maes.items():
+            print(f"  {method:4s} MAE = {mae:.5f}")
+        winner = min(maes, key=maes.get)
+        gaps[dataset_name] = maes["MSW"] - maes["HDG"]
+        print(f"  -> best: {winner}\n")
+    print("Takeaway: MSW leans on the independence assumption, so its edge "
+          "over HDG shrinks (or flips) as correlation grows — here the "
+          f"MSW-minus-HDG gap moves from {gaps['bfive']:+.4f} on the weakly "
+          f"correlated data to {gaps['normal']:+.4f} on the correlated data. "
+          "HDG never relies on that assumption, which is why the paper "
+          "recommends it as the general-purpose choice.")
+
+
+if __name__ == "__main__":
+    main()

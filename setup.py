@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The metadata lives in ``pyproject.toml``; this shim exists so that
+``pip install -e . --no-build-isolation --no-use-pep517`` works in offline
+environments where the ``wheel`` package is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""Analytical error model backing the granularity guideline (Section 4.5/4.6)."""
+
+from .error_model import (ErrorBreakdown, best_modelled_granularity,
+                          cell_noise_variance, grid1d_squared_error,
+                          grid2d_error_breakdown, grid2d_squared_error)
+
+__all__ = [
+    "ErrorBreakdown",
+    "best_modelled_granularity",
+    "cell_noise_variance",
+    "grid1d_squared_error",
+    "grid2d_error_breakdown",
+    "grid2d_squared_error",
+]

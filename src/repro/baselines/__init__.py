@@ -1,0 +1,19 @@
+"""Baseline mechanisms the paper compares against: Uni, MSW, CALM, HIO, LHIO."""
+
+from .calm import CALM
+from .hierarchy import HierarchyNode, IntervalHierarchy, effective_branching
+from .hio import HIO
+from .lhio import LHIO
+from .msw import MSW
+from .uniform import Uniform
+
+__all__ = [
+    "CALM",
+    "HIO",
+    "HierarchyNode",
+    "IntervalHierarchy",
+    "LHIO",
+    "MSW",
+    "Uniform",
+    "effective_branching",
+]

@@ -1,0 +1,135 @@
+"""Interval hierarchies used by the HIO and LHIO baselines (Section 3.3-3.4).
+
+A 1-D hierarchy over the domain ``[c]`` with branching factor ``b`` is a
+complete ``b``-ary tree of intervals: the root (level 0) covers the whole
+domain and every node is split into ``b`` equal sub-intervals until the
+leaves (level ``h = log_b c``) cover single values.  Answering a range
+query requires decomposing an arbitrary interval into the least number of
+hierarchy nodes, which is the classic canonical-cover recursion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def effective_branching(domain_size: int, branching: int) -> int:
+    """Largest branching factor ``b' <= branching`` with ``domain_size = b'^h``.
+
+    The paper uses ``b = 4``; for power-of-two domains that are not powers
+    of four (e.g. 32, 128) the hierarchy silently falls back to ``b = 2``
+    so the tree stays complete.
+    """
+    if domain_size < 2:
+        raise ValueError("domain_size must be >= 2")
+    for candidate in range(min(branching, domain_size), 1, -1):
+        size = domain_size
+        while size % candidate == 0 and size > 1:
+            size //= candidate
+        if size == 1:
+            return candidate
+    raise ValueError(f"domain size {domain_size} has no valid branching factor")
+
+
+@dataclass(frozen=True)
+class HierarchyNode:
+    """One node of a 1-D hierarchy: ``(level, index)`` covering a value range."""
+
+    level: int
+    index: int
+    low: int
+    high: int
+
+
+class IntervalHierarchy:
+    """Complete ``b``-ary hierarchy of intervals over ``[0, domain_size)``.
+
+    Parameters
+    ----------
+    domain_size:
+        Domain size ``c``; must be a power of the (effective) branching.
+    branching:
+        Requested branching factor ``b`` (adjusted downward if needed so
+        that the tree is complete).
+    """
+
+    def __init__(self, domain_size: int, branching: int = 4):
+        self.domain_size = int(domain_size)
+        self.branching = effective_branching(self.domain_size, int(branching))
+        height = 0
+        size = self.domain_size
+        while size > 1:
+            size //= self.branching
+            height += 1
+        self.height = height
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def n_levels(self) -> int:
+        """Number of levels including the root (``h + 1``)."""
+        return self.height + 1
+
+    def nodes_at_level(self, level: int) -> int:
+        """Number of nodes at a level (``b^level``)."""
+        self._check_level(level)
+        return self.branching ** level
+
+    def node_width(self, level: int) -> int:
+        """Number of domain values covered by one node of a level."""
+        self._check_level(level)
+        return self.domain_size // (self.branching ** level)
+
+    def node(self, level: int, index: int) -> HierarchyNode:
+        """The node object at ``(level, index)``."""
+        width = self.node_width(level)
+        if not 0 <= index < self.nodes_at_level(level):
+            raise ValueError(f"index {index} out of range at level {level}")
+        low = index * width
+        return HierarchyNode(level=level, index=index, low=low, high=low + width - 1)
+
+    def node_containing(self, level: int, value: int) -> int:
+        """Index of the level-``level`` node containing a domain value."""
+        if not 0 <= value < self.domain_size:
+            raise ValueError(f"value {value} outside the domain")
+        return value // self.node_width(level)
+
+    # ------------------------------------------------------------------
+    # Interval decomposition
+    # ------------------------------------------------------------------
+    def decompose(self, low: int, high: int) -> list[HierarchyNode]:
+        """Least set of hierarchy nodes whose disjoint union is ``[low, high]``.
+
+        Canonical-cover recursion: a node entirely inside the interval is
+        taken whole; a node straddling the boundary recurses into its
+        children; disjoint nodes are skipped.
+        """
+        if not 0 <= low <= high < self.domain_size:
+            raise ValueError(f"invalid interval [{low}, {high}]")
+        cover: list[HierarchyNode] = []
+        self._cover(self.node(0, 0), low, high, cover)
+        return cover
+
+    def _cover(self, node: HierarchyNode, low: int, high: int,
+               out: list[HierarchyNode]) -> None:
+        if node.high < low or node.low > high:
+            return
+        if low <= node.low and node.high <= high:
+            out.append(node)
+            return
+        if node.level == self.height:
+            # A leaf that straddles the boundary cannot exist (leaves cover
+            # single values), but guard against it anyway.
+            if low <= node.low <= high:
+                out.append(node)
+            return
+        child_width = self.node_width(node.level + 1)
+        first_child = node.low // child_width
+        for offset in range(self.branching):
+            self._cover(self.node(node.level + 1, first_child + offset),
+                        low, high, out)
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level <= self.height:
+            raise ValueError(f"level {level} out of range [0, {self.height}]")

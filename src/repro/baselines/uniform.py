@@ -1,0 +1,32 @@
+"""Uni: the uniform-guess benchmark (Section 5.1).
+
+Uni never looks at the data: a λ-D range query is answered by the fraction
+of the λ-D domain it covers (the answer an aggregator would give if every
+attribute were uniformly and independently distributed).  It serves as the
+"free" baseline — any LDP mechanism performing worse than Uni is adding
+noise without adding information.
+"""
+
+from __future__ import annotations
+
+from ..datasets import Dataset
+from ..queries import RangeQuery
+from ..core.base import RangeQueryMechanism
+
+
+class Uniform(RangeQueryMechanism):
+    """Uniform-guess baseline (no data collection at all)."""
+
+    name = "Uni"
+
+    def __init__(self, epsilon: float = 1.0, seed: int | None = None):
+        # epsilon is accepted for interface compatibility; no reports are sent.
+        super().__init__(epsilon, seed)
+
+    def _fit(self, dataset: Dataset) -> None:
+        # Only the domain metadata captured by the base class is needed.
+        return None
+
+    def _answer(self, query: RangeQuery) -> float:
+        assert self._domain_size is not None
+        return query.volume(self._domain_size)

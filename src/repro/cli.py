@@ -1,0 +1,135 @@
+"""Command-line interface for running reproduction experiments.
+
+Three subcommands mirror how the library is typically used:
+
+``run``
+    Evaluate a set of mechanisms once on one configuration and print the
+    per-mechanism MAE.
+``sweep``
+    Vary one configuration field over several values (the shape of every
+    figure in the paper) and print the MAE series as a table.
+``table2``
+    Print the recommended (g1, g2) granularities for a grid of
+    (d, lg n, ε) settings — the paper's Table 2.
+
+Examples
+--------
+python -m repro.cli run --dataset normal --n-users 100000 --epsilon 1.0
+python -m repro.cli sweep --parameter epsilon --values 0.2 0.5 1.0 2.0
+python -m repro.cli table2 --d 6 --lg-n 6.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import ExperimentConfig, run_experiment, sweep_parameter
+from .experiments.figures import table_2_granularities
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="normal",
+                        help="dataset name (ipums, bfive, loan, acs, normal, laplace)")
+    parser.add_argument("--n-users", type=int, default=100_000)
+    parser.add_argument("--n-attributes", type=int, default=6)
+    parser.add_argument("--domain-size", type=int, default=64)
+    parser.add_argument("--epsilon", type=float, default=1.0)
+    parser.add_argument("--query-dimension", type=int, default=2)
+    parser.add_argument("--volume", type=float, default=0.5)
+    parser.add_argument("--n-queries", type=int, default=100)
+    parser.add_argument("--n-repeats", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--methods", nargs="+",
+                        default=["Uni", "MSW", "CALM", "LHIO", "TDG", "HDG"],
+                        help="mechanisms to evaluate (paper names; HDG(g1,g2) supported)")
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        dataset=args.dataset, n_users=args.n_users,
+        n_attributes=args.n_attributes, domain_size=args.domain_size,
+        epsilon=args.epsilon, query_dimension=args.query_dimension,
+        volume=args.volume, n_queries=args.n_queries,
+        n_repeats=args.n_repeats, methods=tuple(args.methods), seed=args.seed)
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    result = run_experiment(config)
+    print(f"dataset={config.dataset} n={config.n_users} d={config.n_attributes} "
+          f"c={config.domain_size} eps={config.epsilon} "
+          f"lambda={config.query_dimension} omega={config.volume}")
+    for method in config.methods:
+        print(f"  {method:>10}: MAE = {result.methods[method].mae}")
+    return 0
+
+
+def _parse_sweep_values(parameter: str, raw_values: list[str]) -> list:
+    integer_fields = {"n_users", "n_attributes", "domain_size",
+                      "query_dimension", "n_queries", "n_repeats"}
+    if parameter in integer_fields:
+        return [int(value) for value in raw_values]
+    if parameter == "dataset":
+        return list(raw_values)
+    return [float(value) for value in raw_values]
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    values = _parse_sweep_values(args.parameter, args.values)
+    sweep = sweep_parameter(config, args.parameter, values)
+    print(sweep.format_table())
+    return 0
+
+
+def _command_table2(args: argparse.Namespace) -> int:
+    epsilons = args.epsilons or [0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0]
+    settings = [(args.d, args.lg_n)]
+    table = table_2_granularities(epsilons=epsilons, settings=settings,
+                                  domain_size=args.domain_size)
+    print(f"d={args.d}, lg(n)={args.lg_n}, c={args.domain_size}")
+    for epsilon in epsilons:
+        g1, g2 = table[(args.d, args.lg_n, epsilon)]
+        print(f"  eps={epsilon:<4}: g1={g1:>3}  g2={g2:>3}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Answering Multi-Dimensional Range "
+                    "Queries under Local Differential Privacy' (VLDB 2020)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="evaluate mechanisms once")
+    _add_config_arguments(run_parser)
+    run_parser.set_defaults(handler=_command_run)
+
+    sweep_parser = subparsers.add_parser("sweep", help="sweep one parameter")
+    _add_config_arguments(sweep_parser)
+    sweep_parser.add_argument("--parameter", default="epsilon",
+                              help="configuration field to vary")
+    sweep_parser.add_argument("--values", nargs="+", required=True,
+                              help="values to evaluate")
+    sweep_parser.set_defaults(handler=_command_sweep)
+
+    table_parser = subparsers.add_parser("table2",
+                                         help="print recommended granularities")
+    table_parser.add_argument("--d", type=int, default=6)
+    table_parser.add_argument("--lg-n", type=float, default=6.0)
+    table_parser.add_argument("--domain-size", type=int, default=64)
+    table_parser.add_argument("--epsilons", type=float, nargs="+")
+    table_parser.set_defaults(handler=_command_table2)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point used by ``python -m repro.cli`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Common interface for every multi-dimensional range-query mechanism.
+
+TDG, HDG and all baselines (Uni, MSW, CALM, HIO, LHIO) implement
+:class:`RangeQueryMechanism`: ``fit`` runs the one-shot LDP collection
+protocol over a dataset, ``answer`` / ``answer_workload`` then answer
+arbitrarily many range queries from the collected (already private)
+summaries without touching raw data again.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..datasets import Dataset
+from ..queries import RangeQuery
+
+
+class RangeQueryMechanism(abc.ABC):
+    """Base class for ε-LDP multi-dimensional range-query mechanisms.
+
+    Parameters
+    ----------
+    epsilon:
+        Per-user privacy budget.  Every user sends exactly one report
+        produced by an ε-LDP frequency oracle, so the whole mechanism
+        satisfies ε-LDP.
+    seed:
+        Optional seed for all randomness (user grouping, perturbation).
+    """
+
+    #: Short name used in experiment tables (overridden by subclasses).
+    name: str = "mechanism"
+
+    def __init__(self, epsilon: float, seed: int | None = None):
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = float(epsilon)
+        self.rng = np.random.default_rng(seed)
+        self._fitted = False
+        self._n_attributes: int | None = None
+        self._domain_size: int | None = None
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def fit(self, dataset: Dataset) -> "RangeQueryMechanism":
+        """Run the LDP collection protocol over ``dataset`` and return self."""
+        self._n_attributes = dataset.n_attributes
+        self._domain_size = dataset.domain_size
+        self._fit(dataset)
+        self._fitted = True
+        return self
+
+    @abc.abstractmethod
+    def _fit(self, dataset: Dataset) -> None:
+        """Mechanism-specific collection logic."""
+
+    # ------------------------------------------------------------------
+    # Query answering
+    # ------------------------------------------------------------------
+    def answer(self, query: RangeQuery) -> float:
+        """Estimated answer of one range query (fraction in [0, 1] ideally)."""
+        self._require_fitted()
+        self._validate_query(query)
+        return float(self._answer(query))
+
+    @abc.abstractmethod
+    def _answer(self, query: RangeQuery) -> float:
+        """Mechanism-specific answering logic."""
+
+    def answer_workload(self, queries: list[RangeQuery]) -> np.ndarray:
+        """Estimated answers for a list of queries."""
+        return np.array([self.answer(query) for query in queries])
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(
+                f"{type(self).__name__} must be fitted before answering queries")
+
+    def _validate_query(self, query: RangeQuery) -> None:
+        assert self._n_attributes is not None and self._domain_size is not None
+        for predicate in query.predicates:
+            if predicate.attribute >= self._n_attributes:
+                raise ValueError(
+                    f"query restricts attribute {predicate.attribute} but the "
+                    f"fitted dataset only has {self._n_attributes} attributes")
+            if predicate.high >= self._domain_size:
+                raise ValueError(
+                    f"query interval [{predicate.low}, {predicate.high}] exceeds "
+                    f"the fitted domain size {self._domain_size}")

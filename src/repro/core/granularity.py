@@ -1,0 +1,155 @@
+"""Granularity guideline (Section 4.6) for TDG and HDG.
+
+The guideline balances two squared errors — noise/sampling error (which
+grows with finer grids) and non-uniformity error (which shrinks with finer
+grids) — and yields closed forms for the 1-D granularity ``g1`` and the
+2-D granularity ``g2``:
+
+* ``g1 = cbrt(n1 * (e^eps - 1)^2 * alpha1^2 / (2 * m1 * e^eps))``
+* ``g2 = sqrt(sqrt(2) * alpha2 * (e^eps - 1) * sqrt(n2 / (m2 * e^eps)))``
+
+where ``n_i`` / ``m_i`` are the number of users / user groups dedicated to
+i-D grids and ``alpha1 = 0.7``, ``alpha2 = 0.03`` are the recommended
+dataset-independent constants.  The derived values are rounded to the
+closest power of two (so they divide the power-of-two domain ``c``),
+floored at 2 and capped at ``c``.  Table 2 of the paper tabulates the
+resulting choices; the test suite checks this module against that table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Recommended constants from the paper (Section 4.6).
+DEFAULT_ALPHA1 = 0.7
+DEFAULT_ALPHA2 = 0.03
+
+
+def nearest_power_of_two(value: float, minimum: int = 2,
+                         maximum: int | None = None) -> int:
+    """Round a positive value to the closest power of two (absolute distance).
+
+    Ties go to the smaller power.  The result is clamped to
+    ``[minimum, maximum]`` (both expected to be powers of two themselves).
+    """
+    if value <= 0:
+        return minimum
+    lower_exp = max(0, math.floor(math.log2(value)))
+    lower = 2 ** lower_exp
+    upper = lower * 2
+    chosen = lower if (value - lower) <= (upper - value) else upper
+    chosen = max(chosen, minimum)
+    if maximum is not None:
+        chosen = min(chosen, maximum)
+    return chosen
+
+
+def raw_g1(epsilon: float, n1: float, m1: float,
+           alpha1: float = DEFAULT_ALPHA1) -> float:
+    """Un-rounded guideline value for the 1-D granularity."""
+    if n1 <= 0 or m1 <= 0:
+        raise ValueError("n1 and m1 must be positive")
+    e_eps = math.exp(epsilon)
+    return (n1 * (e_eps - 1.0) ** 2 * alpha1 ** 2 / (2.0 * m1 * e_eps)) ** (1.0 / 3.0)
+
+
+def raw_g2(epsilon: float, n2: float, m2: float,
+           alpha2: float = DEFAULT_ALPHA2) -> float:
+    """Un-rounded guideline value for the 2-D granularity."""
+    if n2 <= 0 or m2 <= 0:
+        raise ValueError("n2 and m2 must be positive")
+    e_eps = math.exp(epsilon)
+    inner = math.sqrt(n2 / (m2 * e_eps))
+    return math.sqrt(2.0 * alpha2 * (e_eps - 1.0) * inner)
+
+
+@dataclass(frozen=True)
+class GranularityChoice:
+    """Chosen granularities plus the user-split they were derived from."""
+
+    g1: int
+    g2: int
+    n1: int
+    n2: int
+    m1: int
+    m2: int
+
+
+def default_user_split(n_users: int, n_attributes: int) -> tuple[int, int, int, int]:
+    """Equal-population split between 1-D and 2-D grids for HDG.
+
+    Returns ``(n1, n2, m1, m2)`` where ``m1 = d``, ``m2 = C(d,2)`` and the
+    user counts are proportional to the group counts, so every group has
+    the same population (the paper's default, σ0 = d / (d + C(d,2))).
+    """
+    if n_attributes < 2:
+        raise ValueError("HDG needs at least 2 attributes")
+    m1 = n_attributes
+    m2 = n_attributes * (n_attributes - 1) // 2
+    n1 = int(round(n_users * m1 / (m1 + m2)))
+    n1 = min(max(n1, 1), n_users - 1)
+    n2 = n_users - n1
+    return n1, n2, m1, m2
+
+
+def choose_granularities_hdg(epsilon: float, n_users: int, n_attributes: int,
+                             domain_size: int,
+                             alpha1: float = DEFAULT_ALPHA1,
+                             alpha2: float = DEFAULT_ALPHA2,
+                             sigma: float | None = None) -> GranularityChoice:
+    """Guideline granularities for HDG.
+
+    ``sigma`` optionally overrides the fraction of users assigned to the
+    1-D grids (Figure 15 sweeps it); by default the equal-population split
+    is used.
+    """
+    if sigma is None:
+        n1, n2, m1, m2 = default_user_split(n_users, n_attributes)
+    else:
+        if not 0.0 < sigma < 1.0:
+            raise ValueError(f"sigma must be in (0, 1), got {sigma}")
+        m1 = n_attributes
+        m2 = n_attributes * (n_attributes - 1) // 2
+        n1 = min(max(int(round(n_users * sigma)), 1), n_users - 1)
+        n2 = n_users - n1
+    g1 = nearest_power_of_two(raw_g1(epsilon, n1, m1, alpha1),
+                              minimum=2, maximum=domain_size)
+    g2 = nearest_power_of_two(raw_g2(epsilon, n2, m2, alpha2),
+                              minimum=2, maximum=domain_size)
+    # The consistency step groups 1-D cells into g2 buckets, so g1 must be a
+    # (power-of-two) multiple of g2.
+    g1 = max(g1, g2)
+    return GranularityChoice(g1=g1, g2=g2, n1=n1, n2=n2, m1=m1, m2=m2)
+
+
+def choose_granularity_tdg(epsilon: float, n_users: int, n_attributes: int,
+                           domain_size: int,
+                           alpha2: float = DEFAULT_ALPHA2) -> GranularityChoice:
+    """Guideline granularity for TDG (2-D grids only, all users)."""
+    if n_attributes < 2:
+        raise ValueError("TDG needs at least 2 attributes")
+    m2 = n_attributes * (n_attributes - 1) // 2
+    g2 = nearest_power_of_two(raw_g2(epsilon, n_users, m2, alpha2),
+                              minimum=2, maximum=domain_size)
+    return GranularityChoice(g1=0, g2=g2, n1=0, n2=n_users, m1=0, m2=m2)
+
+
+def recommended_granularity_table(epsilon_values: list[float],
+                                  settings: list[tuple[int, float]],
+                                  alpha1: float = DEFAULT_ALPHA1,
+                                  alpha2: float = DEFAULT_ALPHA2,
+                                  domain_size: int = 64) -> dict[tuple[int, float, float], tuple[int, int]]:
+    """Regenerate Table 2: recommended (g1, g2) for each (d, lg n, ε).
+
+    ``settings`` is a list of ``(d, lg10_n)`` rows; the returned dict maps
+    ``(d, lg10_n, epsilon)`` to the chosen ``(g1, g2)``.
+    """
+    table = {}
+    for d, lg_n in settings:
+        n_users = int(round(10 ** lg_n))
+        for epsilon in epsilon_values:
+            choice = choose_granularities_hdg(epsilon, n_users, d, domain_size,
+                                              alpha1=alpha1, alpha2=alpha2)
+            table[(d, lg_n, epsilon)] = (choice.g1, choice.g2)
+    return table

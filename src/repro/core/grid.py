@@ -1,0 +1,224 @@
+"""1-D and 2-D grids over ordinal attribute domains (Phase 1 of TDG/HDG).
+
+A grid partitions an attribute's domain ``[c]`` (or a pair's domain
+``[c] x [c]``) into equal-width cells, has each user of its group report
+the cell containing their value through an ε-LDP frequency oracle, and
+stores the resulting noisy cell frequencies.  Grids also implement the
+range-answering primitives of Phase 3: summing fully-covered cells and
+estimating partially-covered cells either under the uniformity assumption
+(TDG) or from a response matrix (HDG).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frequency_oracles import FrequencyOracle
+
+
+def _check_divisible(domain_size: int, granularity: int) -> int:
+    if granularity < 1:
+        raise ValueError("granularity must be >= 1")
+    if granularity > domain_size:
+        raise ValueError(
+            f"granularity {granularity} cannot exceed domain size {domain_size}")
+    if domain_size % granularity != 0:
+        raise ValueError(
+            f"granularity {granularity} must divide the domain size {domain_size}")
+    return domain_size // granularity
+
+
+class Grid1D:
+    """Equal-width binning of a single attribute into ``granularity`` cells.
+
+    Parameters
+    ----------
+    attribute:
+        Index of the attribute this grid summarises.
+    domain_size:
+        Attribute domain size ``c``.
+    granularity:
+        Number of cells ``g1``; must divide ``c``.
+    """
+
+    def __init__(self, attribute: int, domain_size: int, granularity: int):
+        self.attribute = int(attribute)
+        self.domain_size = int(domain_size)
+        self.granularity = int(granularity)
+        self.cell_width = _check_divisible(self.domain_size, self.granularity)
+        self.frequencies = np.zeros(self.granularity)
+
+    # ------------------------------------------------------------------
+    # Cell geometry
+    # ------------------------------------------------------------------
+    def cell_index(self, value: int | np.ndarray) -> np.ndarray:
+        """Cell index containing each attribute value."""
+        return np.asarray(value, dtype=np.int64) // self.cell_width
+
+    def cell_bounds(self, cell: int) -> tuple[int, int]:
+        """Inclusive value range ``[low, high]`` covered by a cell."""
+        if not 0 <= cell < self.granularity:
+            raise ValueError(f"cell index {cell} out of range [0, {self.granularity})")
+        low = cell * self.cell_width
+        return low, low + self.cell_width - 1
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def collect(self, values: np.ndarray, oracle: FrequencyOracle) -> None:
+        """Collect noisy cell frequencies from the grid's user group."""
+        if oracle.domain_size != self.granularity:
+            raise ValueError(
+                f"oracle domain {oracle.domain_size} does not match grid "
+                f"granularity {self.granularity}")
+        cells = self.cell_index(values)
+        self.frequencies = oracle.estimate_frequencies(cells)
+
+    def set_frequencies(self, frequencies: np.ndarray) -> None:
+        """Directly set cell frequencies (used by tests and post-processing)."""
+        frequencies = np.asarray(frequencies, dtype=float)
+        if frequencies.shape != (self.granularity,):
+            raise ValueError(
+                f"expected shape ({self.granularity},), got {frequencies.shape}")
+        self.frequencies = frequencies.copy()
+
+    # ------------------------------------------------------------------
+    # Answering
+    # ------------------------------------------------------------------
+    def answer_range(self, low: int, high: int) -> float:
+        """1-D range answer with the uniformity assumption inside cells."""
+        if not 0 <= low <= high < self.domain_size:
+            raise ValueError(f"invalid interval [{low}, {high}]")
+        answer = 0.0
+        first_cell = low // self.cell_width
+        last_cell = high // self.cell_width
+        for cell in range(first_cell, last_cell + 1):
+            cell_low, cell_high = self.cell_bounds(cell)
+            overlap = min(high, cell_high) - max(low, cell_low) + 1
+            answer += self.frequencies[cell] * overlap / self.cell_width
+        return float(answer)
+
+
+class Grid2D:
+    """Equal-width 2-D binning of an attribute pair into ``g2 x g2`` cells.
+
+    Parameters
+    ----------
+    attributes:
+        Pair ``(j, k)`` of attribute indices (order defines the row/column
+        axes of the grid).
+    domain_size:
+        Common attribute domain size ``c``.
+    granularity:
+        Number of cells per axis ``g2``; must divide ``c``.
+    """
+
+    def __init__(self, attributes: tuple[int, int], domain_size: int,
+                 granularity: int):
+        if len(attributes) != 2 or attributes[0] == attributes[1]:
+            raise ValueError("attributes must be a pair of distinct indices")
+        self.attributes = (int(attributes[0]), int(attributes[1]))
+        self.domain_size = int(domain_size)
+        self.granularity = int(granularity)
+        self.cell_width = _check_divisible(self.domain_size, self.granularity)
+        self.frequencies = np.zeros((self.granularity, self.granularity))
+
+    # ------------------------------------------------------------------
+    # Cell geometry
+    # ------------------------------------------------------------------
+    def cell_index(self, values_pair: np.ndarray) -> np.ndarray:
+        """Flattened cell index for each record's ``(v_j, v_k)`` pair."""
+        values_pair = np.asarray(values_pair, dtype=np.int64)
+        rows = values_pair[:, 0] // self.cell_width
+        cols = values_pair[:, 1] // self.cell_width
+        return rows * self.granularity + cols
+
+    def cell_bounds(self, row: int, col: int) -> tuple[int, int, int, int]:
+        """Inclusive bounds ``(row_low, row_high, col_low, col_high)`` of a cell."""
+        if not (0 <= row < self.granularity and 0 <= col < self.granularity):
+            raise ValueError(f"cell ({row}, {col}) out of range")
+        row_low = row * self.cell_width
+        col_low = col * self.cell_width
+        return (row_low, row_low + self.cell_width - 1,
+                col_low, col_low + self.cell_width - 1)
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def collect(self, values_pair: np.ndarray, oracle: FrequencyOracle) -> None:
+        """Collect noisy cell frequencies from the grid's user group."""
+        n_cells = self.granularity * self.granularity
+        if oracle.domain_size != n_cells:
+            raise ValueError(
+                f"oracle domain {oracle.domain_size} does not match grid cell "
+                f"count {n_cells}")
+        cells = self.cell_index(values_pair)
+        flat = oracle.estimate_frequencies(cells)
+        self.frequencies = flat.reshape(self.granularity, self.granularity)
+
+    def set_frequencies(self, frequencies: np.ndarray) -> None:
+        """Directly set cell frequencies (tests and post-processing)."""
+        frequencies = np.asarray(frequencies, dtype=float)
+        expected = (self.granularity, self.granularity)
+        if frequencies.shape != expected:
+            raise ValueError(f"expected shape {expected}, got {frequencies.shape}")
+        self.frequencies = frequencies.copy()
+
+    # ------------------------------------------------------------------
+    # Answering
+    # ------------------------------------------------------------------
+    def answer_range(self, interval_row: tuple[int, int],
+                     interval_col: tuple[int, int],
+                     response_matrix: np.ndarray | None = None) -> float:
+        """2-D range answer.
+
+        Fully covered cells contribute their noisy frequency.  Partially
+        covered cells contribute either a uniform-guess share of their
+        frequency (``response_matrix=None``, the TDG rule) or the sum of
+        the response-matrix entries of the covered 2-D values (the HDG
+        rule, Section 4.1 Phase 3).
+        """
+        row_low, row_high = interval_row
+        col_low, col_high = interval_col
+        for low, high in ((row_low, row_high), (col_low, col_high)):
+            if not 0 <= low <= high < self.domain_size:
+                raise ValueError(f"invalid interval [{low}, {high}]")
+        if response_matrix is not None:
+            expected = (self.domain_size, self.domain_size)
+            if response_matrix.shape != expected:
+                raise ValueError(
+                    f"response matrix must have shape {expected}, got "
+                    f"{response_matrix.shape}")
+
+        answer = 0.0
+        first_row = row_low // self.cell_width
+        last_row = row_high // self.cell_width
+        first_col = col_low // self.cell_width
+        last_col = col_high // self.cell_width
+        cell_area = self.cell_width * self.cell_width
+        for row in range(first_row, last_row + 1):
+            for col in range(first_col, last_col + 1):
+                c_row_low, c_row_high, c_col_low, c_col_high = self.cell_bounds(row, col)
+                overlap_rows = min(row_high, c_row_high) - max(row_low, c_row_low) + 1
+                overlap_cols = min(col_high, c_col_high) - max(col_low, c_col_low) + 1
+                fully_covered = (overlap_rows == self.cell_width
+                                 and overlap_cols == self.cell_width)
+                if fully_covered:
+                    answer += self.frequencies[row, col]
+                elif response_matrix is None:
+                    share = overlap_rows * overlap_cols / cell_area
+                    answer += self.frequencies[row, col] * share
+                else:
+                    r_lo = max(row_low, c_row_low)
+                    r_hi = min(row_high, c_row_high)
+                    k_lo = max(col_low, c_col_low)
+                    k_hi = min(col_high, c_col_high)
+                    answer += float(
+                        response_matrix[r_lo:r_hi + 1, k_lo:k_hi + 1].sum())
+        return float(answer)
+
+    def marginal(self, axis: int) -> np.ndarray:
+        """Grid-level marginal of one of the two attributes (sums over the other)."""
+        if axis not in (0, 1):
+            raise ValueError("axis must be 0 or 1")
+        return self.frequencies.sum(axis=1 - axis)

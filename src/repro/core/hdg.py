@@ -1,0 +1,236 @@
+"""Hybrid-Dimensional Grids (HDG) mechanism — the paper's main contribution.
+
+HDG extends TDG with finer-grained 1-D grids and response matrices:
+
+1. **Constructing grids** — users are split into ``d + C(d,2)`` groups.
+   ``d`` groups each report a 1-D grid (granularity ``g1``) for one
+   attribute, ``C(d,2)`` groups each report a 2-D grid (granularity
+   ``g2``) for one attribute pair, both through OLH.  The granularities
+   follow the guideline of Section 4.6.
+2. **Removing negativity and inconsistency** — Norm-Sub and cross-grid
+   consistency, now spanning the 1-D and 2-D grids together (Phase 2).
+3. **Answering range queries** — before answering, a ``c x c`` response
+   matrix is built per attribute pair from its three grids (Algorithm 1).
+   A 2-D query is answered from the pair's 2-D grid, with partially
+   covered cells evaluated through the response matrix instead of the
+   uniformity assumption.  λ-D queries (λ > 2) combine the associated 2-D
+   answers with Weighted Update (Algorithm 2); 1-D queries read the
+   attribute's own fine-grained 1-D grid.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from ..datasets import Dataset
+from ..frequency_oracles import OptimizedLocalHash
+from ..protocol import partition_users, partition_users_weighted
+from ..queries import RangeQuery
+from .base import RangeQueryMechanism
+from .granularity import (DEFAULT_ALPHA1, DEFAULT_ALPHA2,
+                          choose_granularities_hdg)
+from .grid import Grid1D, Grid2D
+from .phase2 import run_phase2
+from .query_estimation import estimate_lambda_query
+from .response_matrix import build_response_matrix
+
+
+class HDG(RangeQueryMechanism):
+    """Hybrid-Dimensional Grids under ε-LDP.
+
+    Parameters
+    ----------
+    epsilon:
+        Per-user privacy budget.
+    granularities:
+        Optional explicit ``(g1, g2)`` pair; by default the guideline
+        values are derived at fit time.
+    alpha1, alpha2:
+        Guideline constants (used only when ``granularities`` is None).
+    sigma:
+        Fraction of users assigned to 1-D grids.  ``None`` (default) uses
+        the equal-population split σ0 = d / (d + C(d,2)); Figure 15 sweeps
+        this parameter.
+    postprocess:
+        Whether to run Phase 2.  ``False`` yields the IHDG ablation
+        variant from Appendix A.1.
+    consistency_rounds:
+        Number of Norm-Sub/consistency interleavings in Phase 2.
+    estimation_method:
+        ``"weighted_update"`` (Algorithm 2) or ``"max_entropy"``
+        (Appendix A.8) for λ > 2 queries.
+    matrix_iterations, estimation_iterations:
+        Iteration caps for Algorithms 1 and 2 (the paper caps both at 100
+        for the inconsistent variants; converged runs stop much earlier).
+    convergence_threshold:
+        Convergence threshold for Algorithms 1 and 2 (the paper uses any
+        value below ``1/n``).
+    oracle_mode:
+        ``"fast"`` or ``"user"`` execution mode of the OLH oracle.
+    seed:
+        Seed for grouping and perturbation randomness.
+    """
+
+    name = "HDG"
+
+    def __init__(self, epsilon: float,
+                 granularities: tuple[int, int] | None = None,
+                 alpha1: float = DEFAULT_ALPHA1, alpha2: float = DEFAULT_ALPHA2,
+                 sigma: float | None = None, postprocess: bool = True,
+                 consistency_rounds: int = 3,
+                 estimation_method: str = "weighted_update",
+                 matrix_iterations: int = 100, estimation_iterations: int = 100,
+                 convergence_threshold: float = 1e-7,
+                 oracle_mode: str = "fast", seed: int | None = None):
+        super().__init__(epsilon, seed)
+        self.granularities = granularities
+        self.alpha1 = float(alpha1)
+        self.alpha2 = float(alpha2)
+        self.sigma = sigma
+        self.postprocess = bool(postprocess)
+        self.consistency_rounds = int(consistency_rounds)
+        self.estimation_method = estimation_method
+        self.matrix_iterations = int(matrix_iterations)
+        self.estimation_iterations = int(estimation_iterations)
+        self.convergence_threshold = float(convergence_threshold)
+        self.oracle_mode = oracle_mode
+        self.grids_1d: dict[int, Grid1D] = {}
+        self.grids_2d: dict[tuple[int, int], Grid2D] = {}
+        self.response_matrices: dict[tuple[int, int], np.ndarray] = {}
+        self.matrix_iteration_history: dict[tuple[int, int], list[float]] = {}
+        self.chosen_g1: int | None = None
+        self.chosen_g2: int | None = None
+
+    # ------------------------------------------------------------------
+    # Phase 1 + 2: collection and post-processing
+    # ------------------------------------------------------------------
+    def _fit(self, dataset: Dataset) -> None:
+        d = dataset.n_attributes
+        if d < 2:
+            raise ValueError("HDG requires at least 2 attributes")
+        c = dataset.domain_size
+        pairs = list(combinations(range(d), 2))
+
+        choice = choose_granularities_hdg(self.epsilon, dataset.n_users, d, c,
+                                          alpha1=self.alpha1, alpha2=self.alpha2,
+                                          sigma=self.sigma)
+        if self.granularities is not None:
+            g1, g2 = int(self.granularities[0]), int(self.granularities[1])
+            if g1 < g2:
+                raise ValueError(
+                    f"g1 ({g1}) must be at least g2 ({g2}) so the consistency "
+                    "buckets align")
+        else:
+            g1, g2 = choice.g1, choice.g2
+        self.chosen_g1, self.chosen_g2 = g1, g2
+
+        # Split the population between 1-D and 2-D duties, then into groups.
+        block_1d, block_2d = self._population_blocks(dataset.n_users, choice)
+        groups_1d = partition_users(max(block_1d.size, 1), d, self.rng)
+        groups_2d = partition_users(max(block_2d.size, 1), len(pairs), self.rng)
+
+        self.grids_1d = {}
+        for attribute, group in zip(range(d), groups_1d):
+            grid = Grid1D(attribute, c, g1)
+            members = block_1d[group] if block_1d.size else np.array([], dtype=int)
+            if members.size > 0:
+                oracle = OptimizedLocalHash(self.epsilon, g1, rng=self.rng,
+                                            mode=self.oracle_mode)
+                grid.collect(dataset.column(attribute)[members], oracle)
+            self.grids_1d[attribute] = grid
+
+        self.grids_2d = {}
+        for pair, group in zip(pairs, groups_2d):
+            grid = Grid2D(pair, c, g2)
+            members = block_2d[group] if block_2d.size else np.array([], dtype=int)
+            if members.size > 0:
+                oracle = OptimizedLocalHash(self.epsilon, g2 * g2, rng=self.rng,
+                                            mode=self.oracle_mode)
+                grid.collect(dataset.columns(pair)[members], oracle)
+            self.grids_2d[pair] = grid
+
+        if self.postprocess:
+            run_phase2(d, self.grids_1d, self.grids_2d, n_buckets=g2,
+                       rounds=self.consistency_rounds)
+
+        # Build all response matrices up front (they are reused by every query).
+        threshold = min(self.convergence_threshold, 1.0 / dataset.n_users)
+        self.response_matrices = {}
+        self.matrix_iteration_history = {}
+        for pair, grid in self.grids_2d.items():
+            result = build_response_matrix(self.grids_1d[pair[0]],
+                                           self.grids_1d[pair[1]], grid, c,
+                                           threshold=threshold,
+                                           max_iterations=self.matrix_iterations,
+                                           track_history=True)
+            self.response_matrices[pair] = result.matrix
+            self.matrix_iteration_history[pair] = result.change_history
+
+    def _population_blocks(self, n_users: int, choice) -> tuple[np.ndarray, np.ndarray]:
+        """Split user indices into the 1-D block and the 2-D block."""
+        sizes = [choice.n1, choice.n2]
+        if sum(sizes) != n_users:
+            sizes[1] = n_users - sizes[0]
+        blocks = partition_users_weighted(n_users, sizes, self.rng)
+        return blocks[0], blocks[1]
+
+    # ------------------------------------------------------------------
+    # Phase 3: answering
+    # ------------------------------------------------------------------
+    def _pair_key(self, attr_a: int, attr_b: int) -> tuple[tuple[int, int], bool]:
+        if (attr_a, attr_b) in self.grids_2d:
+            return (attr_a, attr_b), False
+        if (attr_b, attr_a) in self.grids_2d:
+            return (attr_b, attr_a), True
+        raise KeyError(f"no grid for attribute pair ({attr_a}, {attr_b})")
+
+    def _answer_pair(self, query: RangeQuery) -> float:
+        attr_a, attr_b = query.attributes
+        key, flipped = self._pair_key(attr_a, attr_b)
+        grid = self.grids_2d[key]
+        matrix = self.response_matrices.get(key)
+        interval_a = query.interval(attr_a)
+        interval_b = query.interval(attr_b)
+        if flipped:
+            interval_a, interval_b = interval_b, interval_a
+        return grid.answer_range(interval_a, interval_b, response_matrix=matrix)
+
+    def _answer_single(self, query: RangeQuery) -> float:
+        attribute = query.attributes[0]
+        low, high = query.interval(attribute)
+        return self.grids_1d[attribute].answer_range(low, high)
+
+    def _answer(self, query: RangeQuery) -> float:
+        if query.dimension == 1:
+            return self._answer_single(query)
+        if query.dimension == 2:
+            return self._answer_pair(query)
+        return estimate_lambda_query(query, self._answer_pair,
+                                     method=self.estimation_method,
+                                     max_iterations=self.estimation_iterations)
+
+    # ------------------------------------------------------------------
+    # Diagnostics used by the convergence experiments
+    # ------------------------------------------------------------------
+    def estimate_with_history(self, query: RangeQuery) -> tuple[float, list[float]]:
+        """Answer a λ-D query and return Algorithm 2's change history."""
+        self._require_fitted()
+        self._validate_query(query)
+        if query.dimension <= 2:
+            return self._answer(query), []
+        return estimate_lambda_query(query, self._answer_pair,
+                                     method=self.estimation_method,
+                                     max_iterations=self.estimation_iterations,
+                                     track_history=True)
+
+
+class IHDG(HDG):
+    """Inconsistent HDG: the Phase-2 ablation variant (Appendix A.1)."""
+
+    name = "IHDG"
+
+    def __init__(self, epsilon: float, **kwargs):
+        kwargs["postprocess"] = False
+        super().__init__(epsilon, **kwargs)

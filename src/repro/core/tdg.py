@@ -1,0 +1,157 @@
+"""Two-Dimensional Grids (TDG) mechanism.
+
+TDG (Section 4) answers multi-dimensional range queries under ε-LDP in
+three phases:
+
+1. **Constructing grids** — users are split into ``C(d,2)`` groups, one
+   per attribute pair; each group reports the ``g2 x g2`` cell of its
+   pair's values through OLH, giving a noisy 2-D grid per pair.  The
+   granularity ``g2`` follows the guideline of Section 4.6.
+2. **Removing negativity and inconsistency** — Norm-Sub and cross-grid
+   consistency (Phase 2).
+3. **Answering range queries** — a 2-D query is answered from its pair's
+   grid using the uniformity assumption for partially covered cells; a
+   λ-D query (λ > 2) is answered by combining its ``C(λ,2)`` associated
+   2-D answers with Weighted Update (Algorithm 2).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from ..datasets import Dataset
+from ..frequency_oracles import OptimizedLocalHash
+from ..protocol import partition_users
+from ..queries import Predicate, RangeQuery
+from .base import RangeQueryMechanism
+from .granularity import DEFAULT_ALPHA2, choose_granularity_tdg
+from .grid import Grid2D
+from .phase2 import run_phase2
+from .query_estimation import estimate_lambda_query
+
+
+class TDG(RangeQueryMechanism):
+    """Two-Dimensional Grids under ε-LDP.
+
+    Parameters
+    ----------
+    epsilon:
+        Per-user privacy budget.
+    granularity:
+        Optional explicit 2-D granularity ``g2``; by default the guideline
+        value is derived at fit time from ``(epsilon, n, d, c)``.
+    alpha2:
+        Guideline constant (only used when ``granularity`` is None).
+    postprocess:
+        Whether to run Phase 2.  ``False`` yields the ITDG ablation
+        variant from Appendix A.1.
+    consistency_rounds:
+        Number of Norm-Sub/consistency interleavings in Phase 2.
+    estimation_method:
+        ``"weighted_update"`` (Algorithm 2) or ``"max_entropy"``
+        (Appendix A.8) for λ > 2 queries.
+    oracle_mode:
+        ``"fast"`` or ``"user"`` execution mode of the OLH oracle.
+    seed:
+        Seed for grouping and perturbation randomness.
+    """
+
+    name = "TDG"
+
+    def __init__(self, epsilon: float, granularity: int | None = None,
+                 alpha2: float = DEFAULT_ALPHA2, postprocess: bool = True,
+                 consistency_rounds: int = 3,
+                 estimation_method: str = "weighted_update",
+                 estimation_iterations: int = 100,
+                 oracle_mode: str = "fast", seed: int | None = None):
+        super().__init__(epsilon, seed)
+        self.granularity = granularity
+        self.alpha2 = float(alpha2)
+        self.postprocess = bool(postprocess)
+        self.consistency_rounds = int(consistency_rounds)
+        self.estimation_method = estimation_method
+        self.estimation_iterations = int(estimation_iterations)
+        self.oracle_mode = oracle_mode
+        self.grids: dict[tuple[int, int], Grid2D] = {}
+        self.chosen_g2: int | None = None
+
+    # ------------------------------------------------------------------
+    # Phase 1 + 2: collection and post-processing
+    # ------------------------------------------------------------------
+    def _fit(self, dataset: Dataset) -> None:
+        d = dataset.n_attributes
+        if d < 2:
+            raise ValueError("TDG requires at least 2 attributes")
+        c = dataset.domain_size
+        pairs = list(combinations(range(d), 2))
+
+        if self.granularity is not None:
+            g2 = int(self.granularity)
+        else:
+            g2 = choose_granularity_tdg(self.epsilon, dataset.n_users, d, c,
+                                        alpha2=self.alpha2).g2
+        self.chosen_g2 = g2
+
+        groups = partition_users(dataset.n_users, len(pairs), self.rng)
+        self.grids = {}
+        for pair, group in zip(pairs, groups):
+            grid = Grid2D(pair, c, g2)
+            if group.size > 0:
+                oracle = OptimizedLocalHash(self.epsilon, g2 * g2, rng=self.rng,
+                                            mode=self.oracle_mode)
+                grid.collect(dataset.columns(pair)[group], oracle)
+            self.grids[pair] = grid
+
+        if self.postprocess:
+            run_phase2(d, {}, self.grids, n_buckets=g2,
+                       rounds=self.consistency_rounds)
+
+    # ------------------------------------------------------------------
+    # Phase 3: answering
+    # ------------------------------------------------------------------
+    def _grid_for(self, attr_a: int, attr_b: int) -> tuple[Grid2D, bool]:
+        """Return the grid holding the pair and whether the order is flipped."""
+        if (attr_a, attr_b) in self.grids:
+            return self.grids[(attr_a, attr_b)], False
+        if (attr_b, attr_a) in self.grids:
+            return self.grids[(attr_b, attr_a)], True
+        raise KeyError(f"no grid for attribute pair ({attr_a}, {attr_b})")
+
+    def _answer_pair(self, query: RangeQuery) -> float:
+        attr_a, attr_b = query.attributes
+        grid, flipped = self._grid_for(attr_a, attr_b)
+        interval_a = query.interval(attr_a)
+        interval_b = query.interval(attr_b)
+        if flipped:
+            interval_a, interval_b = interval_b, interval_a
+        return grid.answer_range(interval_a, interval_b)
+
+    def _answer_single(self, query: RangeQuery) -> float:
+        """1-D query: marginalise any grid containing the attribute."""
+        attribute = query.attributes[0]
+        low, high = query.interval(attribute)
+        other = 0 if attribute != 0 else 1
+        padded = RangeQuery((Predicate(attribute, low, high),
+                             Predicate(other, 0, self._domain_size - 1)))
+        return self._answer_pair(padded)
+
+    def _answer(self, query: RangeQuery) -> float:
+        if query.dimension == 1:
+            return self._answer_single(query)
+        if query.dimension == 2:
+            return self._answer_pair(query)
+        return estimate_lambda_query(query, self._answer_pair,
+                                     method=self.estimation_method,
+                                     max_iterations=self.estimation_iterations)
+
+
+class ITDG(TDG):
+    """Inconsistent TDG: the Phase-2 ablation variant (Appendix A.1)."""
+
+    name = "ITDG"
+
+    def __init__(self, epsilon: float, **kwargs):
+        kwargs["postprocess"] = False
+        super().__init__(epsilon, **kwargs)

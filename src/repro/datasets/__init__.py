@@ -1,0 +1,22 @@
+"""Dataset container, synthetic generators and stand-ins for the paper's data."""
+
+from .dataset import Dataset
+from .real_like import (generate_acs_like, generate_bfive_like,
+                        generate_ipums_like, generate_loan_like)
+from .registry import available_datasets, make_dataset
+from .synthetic import (discretize, generate_laplace, generate_normal,
+                        generate_uniform)
+
+__all__ = [
+    "Dataset",
+    "available_datasets",
+    "discretize",
+    "generate_acs_like",
+    "generate_bfive_like",
+    "generate_ipums_like",
+    "generate_laplace",
+    "generate_loan_like",
+    "generate_normal",
+    "generate_uniform",
+    "make_dataset",
+]

@@ -1,0 +1,144 @@
+"""Dataset container used throughout the library.
+
+A :class:`Dataset` is an ``n x d`` integer matrix of ordinal attribute
+values, each attribute sharing the same domain ``[0, c)`` (the paper
+assumes a common power-of-two domain; real attributes are rescaled to it
+during loading).  The container carries the metadata the mechanisms need
+(domain size, attribute names) and offers the slicing helpers they use
+(per-attribute columns, attribute pairs, user sub-sampling and grouping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Dataset:
+    """An in-memory collection of user records over ordinal attributes.
+
+    Parameters
+    ----------
+    values:
+        Integer array of shape ``(n_users, n_attributes)`` with entries in
+        ``[0, domain_size)``.
+    domain_size:
+        Common per-attribute domain size ``c``.
+    name:
+        Human-readable dataset name (used in experiment reports).
+    attribute_names:
+        Optional list of attribute labels; defaults to ``a1..ad``.
+    """
+
+    values: np.ndarray
+    domain_size: int
+    name: str = "dataset"
+    attribute_names: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.int64)
+        if self.values.ndim != 2:
+            raise ValueError("values must be a 2-D (n_users, n_attributes) array")
+        if self.values.size == 0:
+            raise ValueError("dataset must contain at least one record")
+        if self.domain_size < 2:
+            raise ValueError("domain_size must be >= 2")
+        if self.values.min() < 0 or self.values.max() >= self.domain_size:
+            raise ValueError(
+                "all attribute values must lie in [0, domain_size); got "
+                f"[{self.values.min()}, {self.values.max()}] with c={self.domain_size}"
+            )
+        if not self.attribute_names:
+            self.attribute_names = [f"a{i + 1}" for i in range(self.n_attributes)]
+        if len(self.attribute_names) != self.n_attributes:
+            raise ValueError("attribute_names length must match number of columns")
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        """Number of user records ``n``."""
+        return self.values.shape[0]
+
+    @property
+    def n_attributes(self) -> int:
+        """Number of attributes ``d``."""
+        return self.values.shape[1]
+
+    # ------------------------------------------------------------------
+    # Access helpers
+    # ------------------------------------------------------------------
+    def column(self, attribute: int) -> np.ndarray:
+        """Return the value vector of a single attribute."""
+        self._check_attribute(attribute)
+        return self.values[:, attribute]
+
+    def columns(self, attributes: tuple[int, ...] | list[int]) -> np.ndarray:
+        """Return the sub-matrix restricted to the given attributes."""
+        for attribute in attributes:
+            self._check_attribute(attribute)
+        return self.values[:, list(attributes)]
+
+    def subset(self, user_indices: np.ndarray) -> "Dataset":
+        """Return a new dataset restricted to the given user rows."""
+        return Dataset(self.values[user_indices], self.domain_size,
+                       name=self.name, attribute_names=list(self.attribute_names))
+
+    def sample_users(self, n: int, rng: np.random.Generator) -> "Dataset":
+        """Sample ``n`` users with replacement if needed (to scale n up/down)."""
+        if n <= 0:
+            raise ValueError("sample size must be positive")
+        replace = n > self.n_users
+        idx = rng.choice(self.n_users, size=n, replace=replace)
+        return self.subset(idx)
+
+    def restrict_attributes(self, n_attributes: int) -> "Dataset":
+        """Keep only the first ``n_attributes`` columns (paper's d sweep)."""
+        if not 1 <= n_attributes <= self.n_attributes:
+            raise ValueError(
+                f"n_attributes must be in [1, {self.n_attributes}], got {n_attributes}")
+        return Dataset(self.values[:, :n_attributes], self.domain_size,
+                       name=self.name,
+                       attribute_names=self.attribute_names[:n_attributes])
+
+    def rescale_domain(self, new_domain_size: int) -> "Dataset":
+        """Re-bucket all attributes into a new common domain size.
+
+        Used by the domain-size sweep (Figure 3): values are mapped
+        proportionally so the underlying distribution shape is preserved.
+        """
+        if new_domain_size < 2:
+            raise ValueError("new_domain_size must be >= 2")
+        scaled = (self.values.astype(float) * new_domain_size / self.domain_size)
+        scaled = np.clip(scaled.astype(np.int64), 0, new_domain_size - 1)
+        return Dataset(scaled, new_domain_size, name=self.name,
+                       attribute_names=list(self.attribute_names))
+
+    def _check_attribute(self, attribute: int) -> None:
+        if not 0 <= attribute < self.n_attributes:
+            raise ValueError(
+                f"attribute index {attribute} out of range [0, {self.n_attributes})")
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def marginal(self, attribute: int) -> np.ndarray:
+        """Exact 1-D marginal distribution (frequencies summing to 1)."""
+        counts = np.bincount(self.column(attribute), minlength=self.domain_size)
+        return counts / self.n_users
+
+    def joint_marginal(self, attr_a: int, attr_b: int) -> np.ndarray:
+        """Exact 2-D joint distribution of an attribute pair (c x c)."""
+        self._check_attribute(attr_a)
+        self._check_attribute(attr_b)
+        c = self.domain_size
+        flat = self.values[:, attr_a] * c + self.values[:, attr_b]
+        counts = np.bincount(flat, minlength=c * c)
+        return counts.reshape(c, c) / self.n_users
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Dataset(name={self.name!r}, n_users={self.n_users}, "
+                f"n_attributes={self.n_attributes}, domain_size={self.domain_size})")

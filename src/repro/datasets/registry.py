@@ -1,0 +1,69 @@
+"""Named dataset registry used by the experiment harness.
+
+The benchmarks refer to datasets by the names the paper uses (``ipums``,
+``bfive``, ``normal``, ``laplace``, ``loan``, ``acs``); this registry maps
+each name to its generator so every experiment config stays declarative.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .dataset import Dataset
+from .real_like import (generate_acs_like, generate_bfive_like,
+                        generate_ipums_like, generate_loan_like)
+from .synthetic import generate_laplace, generate_normal, generate_uniform
+
+DatasetFactory = Callable[..., Dataset]
+
+
+def _normal_factory(n_users: int, n_attributes: int, domain_size: int,
+                    rng: np.random.Generator, covariance: float = 0.8) -> Dataset:
+    return generate_normal(n_users, n_attributes, domain_size,
+                           covariance=covariance, rng=rng)
+
+
+def _laplace_factory(n_users: int, n_attributes: int, domain_size: int,
+                     rng: np.random.Generator, covariance: float = 0.8) -> Dataset:
+    return generate_laplace(n_users, n_attributes, domain_size,
+                            covariance=covariance, rng=rng)
+
+
+def _uniform_factory(n_users: int, n_attributes: int, domain_size: int,
+                     rng: np.random.Generator) -> Dataset:
+    return generate_uniform(n_users, n_attributes, domain_size, rng=rng)
+
+
+_REGISTRY: dict[str, DatasetFactory] = {
+    "ipums": generate_ipums_like,
+    "bfive": generate_bfive_like,
+    "loan": generate_loan_like,
+    "acs": generate_acs_like,
+    "normal": _normal_factory,
+    "laplace": _laplace_factory,
+    "uniform": _uniform_factory,
+}
+
+
+def available_datasets() -> list[str]:
+    """Names accepted by :func:`make_dataset`."""
+    return sorted(_REGISTRY)
+
+
+def make_dataset(name: str, n_users: int, n_attributes: int, domain_size: int,
+                 rng: np.random.Generator | None = None, **kwargs) -> Dataset:
+    """Instantiate a dataset by registry name.
+
+    Extra keyword arguments (e.g. ``covariance`` for the synthetic
+    families) are forwarded to the underlying generator.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; available: {available_datasets()}"
+        ) from None
+    rng = rng if rng is not None else np.random.default_rng()
+    return factory(n_users, n_attributes, domain_size, rng=rng, **kwargs)

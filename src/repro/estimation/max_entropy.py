@@ -1,0 +1,58 @@
+"""Maximum-Entropy estimation of a λ-D query answer from 2-D answers.
+
+Appendix A.8 of the paper formulates the combination of the ``C(λ,2)``
+associated 2-D answers as a convex program: find the maximum-entropy
+distribution over the ``2^λ`` "orthants" (each attribute's interval either
+included or complemented) subject to the 2-D answers being marginals of
+that distribution.  The paper notes this converges slowly in some cases
+and therefore uses Weighted Update instead; we implement Maximum Entropy
+as well so the two combiners can be compared in an ablation benchmark.
+
+The solver is iterative proportional scaling with an entropy-regularised
+fallback: starting from the uniform distribution, each constraint's
+marginal is matched in turn (this is exactly the IPF algorithm, whose
+fixed point is the maximum-entropy distribution consistent with the
+constraints when one exists).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .weighted_update import Constraint
+
+
+def max_entropy_estimate(size: int, constraints: list[Constraint],
+                         max_iterations: int = 500,
+                         tolerance: float = 1e-9) -> np.ndarray:
+    """Maximum-entropy distribution over ``size`` outcomes matching the constraints.
+
+    Uses iterative proportional fitting (IPF).  Constraint targets are
+    clipped to ``[0, 1]`` and, per sweep, each constraint also enforces the
+    complementary mass ``1 - target`` on the complementary index set so the
+    result stays a proper distribution.
+    """
+    if size < 1:
+        raise ValueError("size must be positive")
+    if not constraints:
+        raise ValueError("at least one constraint is required")
+    estimate = np.full(size, 1.0 / size)
+    all_indices = np.arange(size)
+    for _ in range(max_iterations):
+        before = estimate.copy()
+        for constraint in constraints:
+            target = float(np.clip(constraint.target, 0.0, 1.0))
+            inside = constraint.indices
+            outside = np.setdiff1d(all_indices, inside, assume_unique=False)
+            mass_in = estimate[inside].sum()
+            mass_out = estimate[outside].sum()
+            if mass_in > 0:
+                estimate[inside] *= target / mass_in
+            if mass_out > 0 and outside.size > 0:
+                estimate[outside] *= (1.0 - target) / mass_out
+        total = estimate.sum()
+        if total > 0:
+            estimate /= total
+        if np.abs(estimate - before).sum() < tolerance:
+            break
+    return estimate

@@ -1,0 +1,22 @@
+"""Experiment harness: configs, runner and per-figure reproduction drivers."""
+
+from .config import (DEFAULT_METHODS, METHODS_WITHOUT_HIO, ExperimentConfig)
+from .runner import (MECHANISM_FACTORIES, ExperimentResult, MethodResult,
+                     SweepResult, build_mechanism, run_experiment,
+                     sweep_parameter)
+from . import appendix, figures
+
+__all__ = [
+    "DEFAULT_METHODS",
+    "METHODS_WITHOUT_HIO",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "MECHANISM_FACTORIES",
+    "MethodResult",
+    "SweepResult",
+    "appendix",
+    "build_mechanism",
+    "figures",
+    "run_experiment",
+    "sweep_parameter",
+]

@@ -1,0 +1,187 @@
+"""Experiment runner: build mechanisms, run configurations, sweep parameters.
+
+The runner turns an :class:`~repro.experiments.config.ExperimentConfig`
+into the numbers the paper plots: for every mechanism, the Mean Absolute
+Error over a random query workload, averaged over repetitions.  Parameter
+sweeps (the x-axes of the figures) reuse the same machinery by overriding
+one field per point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..baselines import CALM, HIO, LHIO, MSW, Uniform
+from ..core import HDG, IHDG, ITDG, TDG, RangeQueryMechanism
+from ..datasets import Dataset, make_dataset
+from ..metrics import RepeatedRunSummary, absolute_errors, mean_absolute_error
+from ..queries import RangeQuery, WorkloadGenerator, answer_workload
+from .config import ExperimentConfig
+
+#: Registry of mechanism constructors keyed by the names used in the paper.
+MECHANISM_FACTORIES: dict[str, Callable[..., RangeQueryMechanism]] = {
+    "Uni": Uniform,
+    "MSW": MSW,
+    "CALM": CALM,
+    "HIO": HIO,
+    "LHIO": LHIO,
+    "TDG": TDG,
+    "HDG": HDG,
+    "ITDG": ITDG,
+    "IHDG": IHDG,
+}
+
+
+def build_mechanism(name: str, epsilon: float, seed: int | None = None,
+                    **kwargs) -> RangeQueryMechanism:
+    """Instantiate a mechanism by its paper name.
+
+    Names of the form ``"HDG(g1,g2)"`` build HDG with explicit
+    granularities (the guideline-verification experiments, Figures 7/16).
+    """
+    if name.startswith("HDG(") and name.endswith(")"):
+        inner = name[len("HDG("):-1]
+        g1_str, g2_str = inner.split(",")
+        kwargs = dict(kwargs)
+        kwargs["granularities"] = (int(g1_str), int(g2_str))
+        return HDG(epsilon, seed=seed, **kwargs)
+    try:
+        factory = MECHANISM_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mechanism {name!r}; known: {sorted(MECHANISM_FACTORIES)}"
+        ) from None
+    return factory(epsilon, seed=seed, **kwargs)
+
+
+@dataclass
+class MethodResult:
+    """Per-mechanism outcome of one experiment configuration."""
+
+    method: str
+    mae: RepeatedRunSummary
+    per_query_errors: np.ndarray
+
+
+@dataclass
+class ExperimentResult:
+    """All mechanisms' outcomes for one configuration."""
+
+    config: ExperimentConfig
+    methods: dict[str, MethodResult] = field(default_factory=dict)
+
+    def mae_of(self, method: str) -> float:
+        return self.methods[method].mae.mean
+
+
+def _prepare_dataset(config: ExperimentConfig, repeat: int) -> Dataset:
+    rng = np.random.default_rng(config.seed + 1_000_003 * repeat)
+    return make_dataset(config.dataset, config.n_users, config.n_attributes,
+                        config.domain_size, rng=rng, **config.dataset_kwargs)
+
+
+def _prepare_workload(config: ExperimentConfig, repeat: int) -> list[RangeQuery]:
+    rng = np.random.default_rng(config.seed + 7_000_003 * repeat + 17)
+    generator = WorkloadGenerator(config.n_attributes, config.domain_size, rng=rng)
+    return generator.random_workload(config.n_queries, config.query_dimension,
+                                     config.volume)
+
+
+def run_experiment(config: ExperimentConfig,
+                   workload_factory: Callable[[ExperimentConfig, Dataset, int],
+                                              list[RangeQuery]] | None = None
+                   ) -> ExperimentResult:
+    """Run one configuration: every mechanism on the same data and workload.
+
+    Parameters
+    ----------
+    config:
+        The experiment point to evaluate.
+    workload_factory:
+        Optional override producing the query workload from
+        ``(config, dataset, repeat)``; used by the appendix experiments
+        that need exhaustive or count-conditioned workloads instead of the
+        default random one.
+    """
+    config.validate()
+    result = ExperimentResult(config=config)
+    per_method_maes: dict[str, list[float]] = {m: [] for m in config.methods}
+    per_method_errors: dict[str, list[np.ndarray]] = {m: [] for m in config.methods}
+
+    for repeat in range(config.n_repeats):
+        dataset = _prepare_dataset(config, repeat)
+        if workload_factory is None:
+            queries = _prepare_workload(config, repeat)
+        else:
+            queries = workload_factory(config, dataset, repeat)
+        truths = answer_workload(dataset, queries)
+        for position, method in enumerate(config.methods):
+            kwargs: dict[str, Any] = dict(config.mechanism_kwargs.get(method, {}))
+            mechanism = build_mechanism(method, config.epsilon,
+                                        seed=config.seed + 31 * repeat + position,
+                                        **kwargs)
+            mechanism.fit(dataset)
+            estimates = mechanism.answer_workload(queries)
+            per_method_maes[method].append(mean_absolute_error(estimates, truths))
+            per_method_errors[method].append(absolute_errors(estimates, truths))
+
+    for method in config.methods:
+        result.methods[method] = MethodResult(
+            method=method,
+            mae=RepeatedRunSummary.from_values(per_method_maes[method]),
+            per_query_errors=np.mean(np.stack(per_method_errors[method]), axis=0),
+        )
+    return result
+
+
+@dataclass
+class SweepResult:
+    """Results of varying one configuration field over several values."""
+
+    parameter: str
+    values: list[Any]
+    results: list[ExperimentResult]
+
+    def series(self) -> dict[str, list[float]]:
+        """Per-method MAE series indexed like ``values`` (the plot lines)."""
+        methods = self.results[0].config.methods if self.results else ()
+        return {method: [result.mae_of(method) for result in self.results]
+                for method in methods}
+
+    def format_table(self, float_format: str = "{:.5f}") -> str:
+        """Human-readable table: one row per method, one column per value."""
+        series = self.series()
+        header = [self.parameter] + [str(v) for v in self.values]
+        rows = [header]
+        for method, maes in series.items():
+            rows.append([method] + [float_format.format(m) for m in maes])
+        widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+        lines = []
+        for row in rows:
+            lines.append("  ".join(cell.rjust(width)
+                                   for cell, width in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def sweep_parameter(base_config: ExperimentConfig, parameter: str,
+                    values: list[Any],
+                    config_transform: Callable[[ExperimentConfig, Any],
+                                               ExperimentConfig] | None = None,
+                    workload_factory=None) -> SweepResult:
+    """Evaluate ``base_config`` at each value of one field.
+
+    ``config_transform`` may be supplied for sweeps that touch more than a
+    single field (e.g. varying the covariance means changing
+    ``dataset_kwargs``); by default the named field is simply replaced.
+    """
+    results = []
+    for value in values:
+        if config_transform is not None:
+            config = config_transform(base_config, value)
+        else:
+            config = base_config.with_overrides(**{parameter: value})
+        results.append(run_experiment(config, workload_factory=workload_factory))
+    return SweepResult(parameter=parameter, values=list(values), results=results)

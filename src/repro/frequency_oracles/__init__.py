@@ -1,0 +1,34 @@
+"""ε-LDP categorical frequency oracles (the noise substrate of every method).
+
+Exports
+-------
+GeneralizedRandomizedResponse
+    GRR over a categorical domain (best for small domains).
+OptimizedLocalHash
+    OLH with faithful per-user and fast aggregate-simulation modes (the
+    oracle used by TDG, HDG, CALM, HIO and LHIO).
+SquareWave
+    SW mechanism for ordinal domains with EM reconstruction (used by MSW).
+AdaptiveFrequencyOracle
+    Picks GRR or OLH automatically based on the variance crossover.
+"""
+
+from .adaptive import AdaptiveFrequencyOracle, choose_oracle_kind
+from .base import FrequencyOracle, grr_variance, olh_variance
+from .grr import GeneralizedRandomizedResponse
+from .hashing import UniversalHashFamily
+from .olh import OptimizedLocalHash
+from .square_wave import SquareWave, squarewave_parameters
+
+__all__ = [
+    "AdaptiveFrequencyOracle",
+    "FrequencyOracle",
+    "GeneralizedRandomizedResponse",
+    "OptimizedLocalHash",
+    "SquareWave",
+    "UniversalHashFamily",
+    "choose_oracle_kind",
+    "grr_variance",
+    "olh_variance",
+    "squarewave_parameters",
+]

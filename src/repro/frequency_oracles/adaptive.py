@@ -1,0 +1,56 @@
+"""Adaptive selection between GRR and OLH.
+
+Section 2.2 of the paper notes that GRR has lower variance than OLH when
+the domain is small (``c - 2 < 3 e^eps``) and higher variance otherwise.
+The grid approaches report one cell index out of ``g1`` or ``g2 * g2``
+cells, so the better oracle depends on the chosen granularity; this helper
+picks the winner automatically and is used by the ablation benchmark
+comparing oracle choices inside the grids.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import FrequencyOracle, grr_variance, olh_variance
+from .grr import GeneralizedRandomizedResponse
+from .olh import OptimizedLocalHash
+
+
+def choose_oracle_kind(epsilon: float, domain_size: int) -> str:
+    """Return ``"grr"`` or ``"olh"`` depending on which has lower variance."""
+    if domain_size < 2:
+        raise ValueError("domain_size must be >= 2")
+    # Compare the closed-form variances directly (n cancels out).
+    if grr_variance(epsilon, domain_size, 1) <= olh_variance(epsilon, 1):
+        return "grr"
+    return "olh"
+
+
+class AdaptiveFrequencyOracle(FrequencyOracle):
+    """Frequency oracle that delegates to GRR or OLH, whichever is better."""
+
+    def __init__(self, epsilon: float, domain_size: int,
+                 rng: np.random.Generator | None = None,
+                 olh_mode: str = "fast"):
+        super().__init__(epsilon, domain_size, rng)
+        self.kind = choose_oracle_kind(epsilon, domain_size)
+        if self.kind == "grr":
+            self._delegate: FrequencyOracle = GeneralizedRandomizedResponse(
+                epsilon, domain_size, rng=self.rng)
+        else:
+            self._delegate = OptimizedLocalHash(
+                epsilon, domain_size, rng=self.rng, mode=olh_mode)
+
+    def estimate_frequencies(self, values: np.ndarray) -> np.ndarray:
+        return self._delegate.estimate_frequencies(values)
+
+    def variance(self, n: int, true_frequency: float = 0.0) -> float:
+        return self._delegate.variance(n, true_frequency)
+
+    @property
+    def threshold_domain(self) -> float:
+        """Domain size at which GRR and OLH variances cross (``3 e^eps + 2``)."""
+        return 3.0 * math.exp(self.epsilon) + 2.0

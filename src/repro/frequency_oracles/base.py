@@ -1,0 +1,99 @@
+"""Abstract interface shared by all LDP frequency oracles.
+
+A frequency oracle estimates, under ε-LDP, the frequency (fraction of
+users) of every value in a categorical domain ``[c]`` given one report per
+user.  Every concrete oracle in this package implements
+:class:`FrequencyOracle` and exposes a single high-level entry point,
+:meth:`FrequencyOracle.estimate_frequencies`, so the grid approaches and
+baselines can swap oracles freely.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+
+class FrequencyOracle(abc.ABC):
+    """Base class for ε-LDP categorical frequency oracles.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy budget used by each user's single report.
+    domain_size:
+        Number of categories ``c``; user values are integers in ``[0, c)``.
+    rng:
+        Randomness source.  Passing an explicitly seeded generator makes the
+        whole collection pipeline reproducible.
+    """
+
+    def __init__(self, epsilon: float, domain_size: int,
+                 rng: np.random.Generator | None = None):
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        if domain_size < 2:
+            raise ValueError(f"domain_size must be >= 2, got {domain_size}")
+        self.epsilon = float(epsilon)
+        self.domain_size = int(domain_size)
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    # ------------------------------------------------------------------
+    # Main API
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def estimate_frequencies(self, values: np.ndarray) -> np.ndarray:
+        """Collect perturbed reports for ``values`` and estimate frequencies.
+
+        Parameters
+        ----------
+        values:
+            Integer array of true user values in ``[0, domain_size)``, one
+            entry per reporting user.
+
+        Returns
+        -------
+        numpy.ndarray
+            Unbiased frequency estimates of length ``domain_size`` which sum
+            to approximately 1 (they may be negative or exceed 1 before
+            post-processing).
+        """
+
+    @abc.abstractmethod
+    def variance(self, n: int, true_frequency: float = 0.0) -> float:
+        """Theoretical per-value estimation variance for ``n`` users."""
+
+    # ------------------------------------------------------------------
+    # Helpers shared by implementations
+    # ------------------------------------------------------------------
+    def _validate_values(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.int64)
+        if values.ndim != 1:
+            raise ValueError("values must be a 1-D array of user reports")
+        if values.size == 0:
+            raise ValueError("cannot estimate frequencies from zero users")
+        if values.min() < 0 or values.max() >= self.domain_size:
+            raise ValueError(
+                "user values must lie in [0, domain_size); got range "
+                f"[{values.min()}, {values.max()}] for domain {self.domain_size}"
+            )
+        return values
+
+    @property
+    def e_eps(self) -> float:
+        """Convenience accessor for ``e^epsilon``."""
+        return math.exp(self.epsilon)
+
+
+def grr_variance(epsilon: float, domain_size: int, n: int) -> float:
+    """Equation (2): variance of Generalized Randomized Response."""
+    e_eps = math.exp(epsilon)
+    return (domain_size - 2 + e_eps) / ((e_eps - 1) ** 2 * n)
+
+
+def olh_variance(epsilon: float, n: int) -> float:
+    """Equation (3): variance of Optimized Local Hash."""
+    e_eps = math.exp(epsilon)
+    return 4.0 * e_eps / ((e_eps - 1) ** 2 * n)

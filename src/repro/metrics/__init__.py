@@ -1,0 +1,12 @@
+"""Evaluation metrics (MAE and error distributions)."""
+
+from .errors import (RepeatedRunSummary, absolute_errors, error_histogram,
+                     mean_absolute_error, mean_squared_error)
+
+__all__ = [
+    "RepeatedRunSummary",
+    "absolute_errors",
+    "error_histogram",
+    "mean_absolute_error",
+    "mean_squared_error",
+]

@@ -1,0 +1,62 @@
+"""Accuracy metrics used in the evaluation.
+
+The paper reports the Mean Absolute Error (MAE) over a workload of range
+queries, and the appendix additionally inspects the distribution of
+per-query absolute errors (Figures 9-10).  Both are provided here along
+with small helpers for aggregating repeated runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def absolute_errors(estimates: np.ndarray, truths: np.ndarray) -> np.ndarray:
+    """Per-query absolute error ``|f_q - f̄_q|``."""
+    estimates = np.asarray(estimates, dtype=float)
+    truths = np.asarray(truths, dtype=float)
+    if estimates.shape != truths.shape:
+        raise ValueError(
+            f"estimates shape {estimates.shape} != truths shape {truths.shape}")
+    return np.abs(estimates - truths)
+
+
+def mean_absolute_error(estimates: np.ndarray, truths: np.ndarray) -> float:
+    """MAE over a query workload (the paper's headline metric)."""
+    return float(absolute_errors(estimates, truths).mean())
+
+
+def mean_squared_error(estimates: np.ndarray, truths: np.ndarray) -> float:
+    """MSE over a query workload (used in the error analysis discussion)."""
+    errors = absolute_errors(estimates, truths)
+    return float((errors ** 2).mean())
+
+
+@dataclass
+class RepeatedRunSummary:
+    """Mean and standard deviation of a metric across repeated runs."""
+
+    mean: float
+    std: float
+    n_runs: int
+
+    @classmethod
+    def from_values(cls, values: list[float]) -> "RepeatedRunSummary":
+        array = np.asarray(values, dtype=float)
+        if array.size == 0:
+            raise ValueError("need at least one run")
+        return cls(mean=float(array.mean()),
+                   std=float(array.std(ddof=0)),
+                   n_runs=int(array.size))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.5f} ± {self.std:.5f} (n={self.n_runs})"
+
+
+def error_histogram(errors: np.ndarray, n_bins: int = 20) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of per-query errors (Figures 9-10 style)."""
+    errors = np.asarray(errors, dtype=float)
+    counts, edges = np.histogram(errors, bins=n_bins)
+    return counts, edges

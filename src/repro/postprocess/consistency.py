@@ -1,0 +1,88 @@
+"""Cross-grid consistency enforcement (Phase 2, Section 4.2).
+
+Each attribute ``a`` appears in several grids — its own 1-D grid (HDG
+only) and the ``d - 1`` 2-D grids of pairs containing it.  Because every
+grid is estimated from an independent user group, the marginal frequencies
+of ``a`` implied by different grids disagree.  The consistency step
+computes, for each coarse bucket ``j`` of ``a`` (the 2-D granularity
+``g2`` defines the buckets), the variance-optimal weighted average of the
+per-grid bucket totals and then shifts each grid's cells so its bucket
+total matches the average.
+
+The weights follow the analysis in the paper / CALM: a grid in which the
+bucket total is the sum of ``|S_i|`` cells contributes weight proportional
+to ``1 / |S_i|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class GridView:
+    """A view of one grid's cells as seen from a single attribute.
+
+    Parameters
+    ----------
+    frequencies:
+        The grid's cell-frequency array (1-D of length ``g1`` for a 1-D
+        grid, 2-D of shape ``(g2, g2)`` for a 2-D grid).  Updated in place
+        by :func:`enforce_attribute_consistency`.
+    axis:
+        Which axis of ``frequencies`` corresponds to the attribute being
+        reconciled (ignored for 1-D grids).
+    cells_per_bucket:
+        How many of the attribute's own cells fall inside one consistency
+        bucket.  With a common bucket count of ``g2``, a 2-D grid has 1
+        cell per bucket along the attribute axis and a 1-D grid has
+        ``g1 / g2`` cells per bucket.
+    """
+
+    frequencies: np.ndarray
+    axis: int
+    cells_per_bucket: int
+
+    def bucket_totals(self, n_buckets: int) -> np.ndarray:
+        """Sum of frequencies per consistency bucket along the attribute axis."""
+        moved = np.moveaxis(self.frequencies, self.axis, 0)
+        attr_cells = moved.shape[0]
+        if attr_cells != n_buckets * self.cells_per_bucket:
+            raise ValueError(
+                f"grid has {attr_cells} cells along the attribute axis, which is "
+                f"not {n_buckets} buckets x {self.cells_per_bucket} cells")
+        grouped = moved.reshape(n_buckets, self.cells_per_bucket, -1)
+        return grouped.sum(axis=(1, 2))
+
+    def cells_contributing(self) -> int:
+        """Number of cells whose frequencies sum into one bucket total (|S_i|)."""
+        other = self.frequencies.size // self.frequencies.shape[self.axis]
+        return self.cells_per_bucket * other
+
+    def apply_adjustment(self, bucket_deltas: np.ndarray) -> None:
+        """Distribute each bucket's total adjustment equally over its cells."""
+        moved = np.moveaxis(self.frequencies, self.axis, 0)
+        n_buckets = bucket_deltas.shape[0]
+        grouped = moved.reshape(n_buckets, self.cells_per_bucket, -1)
+        per_cell = bucket_deltas / (self.cells_per_bucket * grouped.shape[2])
+        grouped += per_cell[:, None, None]
+        # ``moved``/``grouped`` are views, so the original array is updated.
+
+
+def enforce_attribute_consistency(views: list[GridView], n_buckets: int) -> np.ndarray:
+    """Make all grids agree on one attribute's bucket totals.
+
+    Returns the consensus bucket totals (mainly for testing/inspection);
+    the grids referenced by ``views`` are modified in place.
+    """
+    if not views:
+        raise ValueError("need at least one grid view")
+    totals = np.stack([view.bucket_totals(n_buckets) for view in views])
+    weights = np.array([1.0 / view.cells_contributing() for view in views])
+    weights = weights / weights.sum()
+    consensus = weights @ totals
+    for view, current in zip(views, totals):
+        view.apply_adjustment(consensus - current)
+    return consensus

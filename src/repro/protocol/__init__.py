@@ -1,0 +1,9 @@
+"""User-partitioning utilities shared by all LDP mechanisms."""
+
+from .grouping import partition_users, partition_users_weighted, split_population
+
+__all__ = [
+    "partition_users",
+    "partition_users_weighted",
+    "split_population",
+]

@@ -1,0 +1,14 @@
+"""Range-query model, workload generation and exact answering."""
+
+from .ground_truth import answer_query, answer_query_from_joint, answer_workload
+from .range_query import Predicate, RangeQuery
+from .workload import WorkloadGenerator
+
+__all__ = [
+    "Predicate",
+    "RangeQuery",
+    "WorkloadGenerator",
+    "answer_query",
+    "answer_query_from_joint",
+    "answer_workload",
+]

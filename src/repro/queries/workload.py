@@ -1,0 +1,135 @@
+"""Random query-workload generation matching the paper's methodology.
+
+Section 5.1: "we randomly select a set Q of λ-D range queries ... with
+different dimensional query volumes denoted by ω, which means the ratio of
+the specified interval to the domain size for each queried attribute."
+Each query therefore restricts λ randomly chosen attributes to an interval
+of width ``round(ω * c)`` placed uniformly at random inside the domain.
+
+The appendix additionally evaluates *full* workloads (every 2-D marginal
+cell, every 2-D range with a given volume) and splits high-dimensional
+workloads into 0-count and non-0-count queries; generators for all of
+those live here as well.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from ..datasets import Dataset
+from .ground_truth import answer_workload
+from .range_query import Predicate, RangeQuery
+
+
+class WorkloadGenerator:
+    """Factory for random and exhaustive range-query workloads.
+
+    Parameters
+    ----------
+    n_attributes:
+        Total number of attributes ``d`` in the dataset.
+    domain_size:
+        Per-attribute domain size ``c``.
+    rng:
+        Randomness source; seed it for reproducible workloads.
+    """
+
+    def __init__(self, n_attributes: int, domain_size: int,
+                 rng: np.random.Generator | None = None):
+        if n_attributes < 1:
+            raise ValueError("n_attributes must be >= 1")
+        if domain_size < 2:
+            raise ValueError("domain_size must be >= 2")
+        self.n_attributes = int(n_attributes)
+        self.domain_size = int(domain_size)
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    # ------------------------------------------------------------------
+    # Random workloads (main-body experiments)
+    # ------------------------------------------------------------------
+    def interval_width(self, volume: float) -> int:
+        """Interval width corresponding to per-dimension volume ω."""
+        if not 0.0 < volume <= 1.0:
+            raise ValueError(f"volume must be in (0, 1], got {volume}")
+        return max(1, min(self.domain_size, int(round(volume * self.domain_size))))
+
+    def random_query(self, dimension: int, volume: float) -> RangeQuery:
+        """One random λ-D query with per-dimension volume ω."""
+        if not 1 <= dimension <= self.n_attributes:
+            raise ValueError(
+                f"query dimension must be in [1, {self.n_attributes}], got {dimension}")
+        width = self.interval_width(volume)
+        attributes = self.rng.choice(self.n_attributes, size=dimension, replace=False)
+        predicates = []
+        for attribute in sorted(attributes.tolist()):
+            low = int(self.rng.integers(0, self.domain_size - width + 1))
+            predicates.append(Predicate(attribute, low, low + width - 1))
+        return RangeQuery(tuple(predicates))
+
+    def random_workload(self, n_queries: int, dimension: int,
+                        volume: float) -> list[RangeQuery]:
+        """A workload of ``n_queries`` independent random λ-D queries."""
+        if n_queries < 1:
+            raise ValueError("n_queries must be >= 1")
+        return [self.random_query(dimension, volume) for _ in range(n_queries)]
+
+    # ------------------------------------------------------------------
+    # Exhaustive workloads (appendix experiments)
+    # ------------------------------------------------------------------
+    def full_marginal_workload(self) -> list[RangeQuery]:
+        """Every point query of every attribute pair (Figure 11).
+
+        This is ``C(d,2) * c^2`` queries, so callers typically use it with
+        reduced domain sizes.
+        """
+        queries = []
+        for a, b in combinations(range(self.n_attributes), 2):
+            for va in range(self.domain_size):
+                for vb in range(self.domain_size):
+                    queries.append(RangeQuery((Predicate(a, va, va),
+                                               Predicate(b, vb, vb))))
+        return queries
+
+    def full_2d_range_workload(self, volume: float) -> list[RangeQuery]:
+        """Every 2-D range query of a given volume over every pair (Figure 12)."""
+        width = self.interval_width(volume)
+        max_low = self.domain_size - width
+        queries = []
+        for a, b in combinations(range(self.n_attributes), 2):
+            for la in range(max_low + 1):
+                for lb in range(max_low + 1):
+                    queries.append(RangeQuery((
+                        Predicate(a, la, la + width - 1),
+                        Predicate(b, lb, lb + width - 1))))
+        return queries
+
+    # ------------------------------------------------------------------
+    # Count-conditioned workloads (Figures 13-14)
+    # ------------------------------------------------------------------
+    def count_conditioned_workload(self, dataset: Dataset, n_queries: int,
+                                   dimension: int, volume: float,
+                                   zero_count: bool,
+                                   max_attempts: int = 200) -> list[RangeQuery]:
+        """Random queries filtered by whether their true answer is zero.
+
+        ``zero_count=True`` keeps only queries with exact answer 0 (the
+        paper's "0-count" workload, ω = 0.3); ``False`` keeps only queries
+        with a strictly positive answer (ω = 0.7).  If the dataset cannot
+        supply enough queries of the requested kind within
+        ``max_attempts`` rounds, whatever was found is returned.
+        """
+        selected: list[RangeQuery] = []
+        for _ in range(max_attempts):
+            if len(selected) >= n_queries:
+                break
+            batch = self.random_workload(n_queries, dimension, volume)
+            answers = answer_workload(dataset, batch)
+            for query, answer in zip(batch, answers):
+                wanted = (answer == 0.0) if zero_count else (answer > 0.0)
+                if wanted:
+                    selected.append(query)
+                    if len(selected) >= n_queries:
+                        break
+        return selected[:n_queries]

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite.
+
+Tests run at deliberately small scale (tens of thousands of users at most)
+so the whole suite finishes quickly; statistical assertions use tolerances
+sized for those populations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, generate_normal, make_dataset
+from repro.queries import WorkloadGenerator
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_dataset(rng) -> Dataset:
+    """Correlated normal dataset: 20k users, 4 attributes, domain 32."""
+    return generate_normal(20_000, 4, 32, covariance=0.8, rng=rng)
+
+
+@pytest.fixture
+def tiny_dataset(rng) -> Dataset:
+    """Very small dataset for expensive mechanisms: 4k users, 3 attributes, domain 16."""
+    return make_dataset("normal", 4_000, 3, 16, rng=rng)
+
+
+@pytest.fixture
+def workload_2d(small_dataset) -> list:
+    generator = WorkloadGenerator(small_dataset.n_attributes,
+                                  small_dataset.domain_size,
+                                  rng=np.random.default_rng(7))
+    return generator.random_workload(25, 2, 0.5)
+
+
+@pytest.fixture
+def workload_3d(small_dataset) -> list:
+    generator = WorkloadGenerator(small_dataset.n_attributes,
+                                  small_dataset.domain_size,
+                                  rng=np.random.default_rng(8))
+    return generator.random_workload(15, 3, 0.5)

@@ -1,0 +1,77 @@
+"""Tests for the CALM baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CALM, Uniform
+from repro.core import TDG
+from repro.metrics import mean_absolute_error
+from repro.queries import RangeQuery, answer_workload
+
+
+@pytest.fixture
+def fitted_calm(small_dataset):
+    return CALM(epsilon=2.0, seed=0).fit(small_dataset)
+
+
+def test_calm_uses_full_resolution_marginals(fitted_calm, small_dataset):
+    assert fitted_calm.chosen_g2 == small_dataset.domain_size
+    for grid in fitted_calm.grids.values():
+        assert grid.granularity == small_dataset.domain_size
+        assert grid.cell_width == 1
+
+
+def test_calm_is_a_tdg_variant(fitted_calm):
+    assert isinstance(fitted_calm, TDG)
+    assert fitted_calm.name == "CALM"
+
+
+def test_calm_marginals_are_distributions(fitted_calm):
+    for grid in fitted_calm.grids.values():
+        assert grid.frequencies.sum() == pytest.approx(1.0, abs=1e-6)
+        assert (grid.frequencies >= -1e-12).all()
+
+
+def test_calm_answers_small_queries_well(small_dataset):
+    # Small query rectangles sum few noisy cells, where CALM is strong.
+    mechanism = CALM(epsilon=2.0, seed=1).fit(small_dataset)
+    queries = [RangeQuery.from_dict({0: (8, 11), 1: (8, 11)}),
+               RangeQuery.from_dict({2: (0, 3), 3: (0, 3)})]
+    truths = answer_workload(small_dataset, queries)
+    estimates = mechanism.answer_workload(queries)
+    assert mean_absolute_error(estimates, truths) < 0.1
+
+
+def test_calm_beats_uniform_on_correlated_data(small_dataset, workload_2d):
+    truths = answer_workload(small_dataset, workload_2d)
+    calm = CALM(epsilon=3.0, seed=2).fit(small_dataset)
+    uni = Uniform().fit(small_dataset)
+    mae_calm = mean_absolute_error(calm.answer_workload(workload_2d), truths)
+    mae_uni = mean_absolute_error(uni.answer_workload(workload_2d), truths)
+    assert mae_calm < mae_uni
+
+
+def test_calm_higher_dimensional_queries(fitted_calm, small_dataset, workload_3d):
+    estimates = fitted_calm.answer_workload(workload_3d)
+    assert np.isfinite(estimates).all()
+    assert estimates.shape == (len(workload_3d),)
+
+
+def test_calm_error_grows_with_domain_size(rng):
+    # The paper's third challenge: CALM's range-query noise grows with c.
+    from repro.datasets import generate_normal
+    from repro.queries import WorkloadGenerator
+    maes = []
+    for c in (16, 64):
+        dataset = generate_normal(20_000, 3, c, covariance=0.8,
+                                  rng=np.random.default_rng(0))
+        generator = WorkloadGenerator(3, c, rng=np.random.default_rng(1))
+        queries = generator.random_workload(30, 2, 0.5)
+        truths = answer_workload(dataset, queries)
+        run = []
+        for seed in range(3):
+            mechanism = CALM(epsilon=1.0, seed=seed).fit(dataset)
+            run.append(mean_absolute_error(mechanism.answer_workload(queries),
+                                           truths))
+        maes.append(np.mean(run))
+    assert maes[1] > maes[0]

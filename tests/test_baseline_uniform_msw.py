@@ -1,0 +1,95 @@
+"""Tests for the Uni and MSW baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MSW, Uniform
+from repro.datasets import generate_normal, generate_uniform
+from repro.metrics import mean_absolute_error
+from repro.queries import RangeQuery, WorkloadGenerator, answer_workload
+
+
+# ----------------------------------------------------------------------
+# Uni
+# ----------------------------------------------------------------------
+def test_uniform_answer_is_query_volume(small_dataset):
+    mechanism = Uniform().fit(small_dataset)
+    c = small_dataset.domain_size
+    query = RangeQuery.from_dict({0: (0, c // 2 - 1), 1: (0, c // 4 - 1)})
+    assert mechanism.answer(query) == pytest.approx(0.5 * 0.25)
+
+
+def test_uniform_never_touches_data(small_dataset):
+    mechanism = Uniform()
+    # fit only records metadata; answering is purely combinatorial.
+    mechanism.fit(small_dataset)
+    query = RangeQuery.from_dict({0: (0, small_dataset.domain_size - 1)})
+    assert mechanism.answer(query) == pytest.approx(1.0)
+
+
+def test_uniform_is_exact_on_uniform_data(rng):
+    dataset = generate_uniform(50_000, 3, 16, rng=rng)
+    generator = WorkloadGenerator(3, 16, rng=np.random.default_rng(0))
+    queries = generator.random_workload(30, 2, 0.5)
+    truths = answer_workload(dataset, queries)
+    mechanism = Uniform().fit(dataset)
+    estimates = mechanism.answer_workload(queries)
+    assert mean_absolute_error(estimates, truths) < 0.02
+
+
+# ----------------------------------------------------------------------
+# MSW
+# ----------------------------------------------------------------------
+def test_msw_builds_one_distribution_per_attribute(small_dataset):
+    mechanism = MSW(epsilon=1.0, seed=0).fit(small_dataset)
+    assert len(mechanism.distributions) == small_dataset.n_attributes
+    for distribution in mechanism.distributions.values():
+        assert distribution.shape == (small_dataset.domain_size,)
+        assert distribution.sum() == pytest.approx(1.0, abs=1e-5)
+        assert (distribution >= 0).all()
+
+
+def test_msw_product_rule(small_dataset):
+    mechanism = MSW(epsilon=1.0, seed=0).fit(small_dataset)
+    query = RangeQuery.from_dict({0: (0, 15), 1: (0, 7)})
+    expected = (mechanism.distributions[0][:16].sum()
+                * mechanism.distributions[1][:8].sum())
+    assert mechanism.answer(query) == pytest.approx(expected)
+
+
+def test_msw_accurate_on_independent_data(rng):
+    dataset = generate_normal(40_000, 3, 32, covariance=0.0, rng=rng)
+    generator = WorkloadGenerator(3, 32, rng=np.random.default_rng(1))
+    queries = generator.random_workload(30, 2, 0.5)
+    truths = answer_workload(dataset, queries)
+    mechanism = MSW(epsilon=2.0, seed=0).fit(dataset)
+    estimates = mechanism.answer_workload(queries)
+    assert mean_absolute_error(estimates, truths) < 0.05
+
+
+def test_msw_loses_correlations():
+    # On strongly correlated data MSW's independence assumption biases the
+    # aligned-corner query: the truth is far above the product of marginals.
+    dataset = generate_normal(60_000, 2, 32, covariance=0.95,
+                              rng=np.random.default_rng(2))
+    mechanism = MSW(epsilon=3.0, seed=0).fit(dataset)
+    query = RangeQuery.from_dict({0: (0, 15), 1: (0, 15)})
+    from repro.queries import answer_query
+    truth = answer_query(dataset, query)
+    estimate = mechanism.answer(query)
+    assert truth - estimate > 0.1
+
+
+def test_msw_single_attribute_query(small_dataset):
+    mechanism = MSW(epsilon=1.0, seed=0).fit(small_dataset)
+    query = RangeQuery.from_dict({2: (0, 15)})
+    from repro.queries import answer_query
+    truth = answer_query(small_dataset, query)
+    assert mechanism.answer(query) == pytest.approx(truth, abs=0.1)
+
+
+def test_msw_reproducible(small_dataset, workload_2d):
+    first = MSW(epsilon=1.0, seed=5).fit(small_dataset)
+    second = MSW(epsilon=1.0, seed=5).fit(small_dataset)
+    np.testing.assert_allclose(first.answer_workload(workload_2d),
+                               second.answer_workload(workload_2d))

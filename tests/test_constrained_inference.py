@@ -1,0 +1,121 @@
+"""Tests for Hay et al. constrained inference on interval hierarchies."""
+
+import numpy as np
+import pytest
+
+from repro.postprocess import (constrained_inference, constrained_inference_2d,
+                               mean_consistency_pass, weighted_average_pass)
+
+
+def _noisy_hierarchy(rng, leaves, branching, noise):
+    """Build a 3-level hierarchy of noisy counts from exact leaf values."""
+    level2 = leaves
+    level1 = level2.reshape(-1, branching).sum(axis=1)
+    level0 = level1.reshape(-1, branching).sum(axis=1)
+    return [level0 + rng.normal(0, noise, level0.shape),
+            level1 + rng.normal(0, noise, level1.shape),
+            level2 + rng.normal(0, noise, level2.shape)]
+
+
+def test_mean_consistency_makes_parents_equal_child_sums():
+    levels = [np.array([1.0]), np.array([0.2, 0.3]), np.array([0.1, 0.2, 0.1, 0.3])]
+    consistent = mean_consistency_pass(levels, branching=2)
+    np.testing.assert_allclose(consistent[0],
+                               consistent[1].reshape(1, 2).sum(axis=1))
+    np.testing.assert_allclose(consistent[1],
+                               consistent[2].reshape(2, 2).sum(axis=1))
+
+
+def test_constrained_inference_is_consistent():
+    rng = np.random.default_rng(0)
+    leaves = rng.random(16)
+    levels = _noisy_hierarchy(rng, leaves, branching=4, noise=0.05)
+    fixed = constrained_inference(levels, branching=4)
+    np.testing.assert_allclose(fixed[0], fixed[1].reshape(1, 4).sum(axis=1),
+                               atol=1e-9)
+    np.testing.assert_allclose(fixed[1], fixed[2].reshape(4, 4).sum(axis=1),
+                               atol=1e-9)
+
+
+def test_constrained_inference_reduces_leaf_error():
+    rng = np.random.default_rng(1)
+    leaves = rng.random(64)
+    noisy_errors, fixed_errors = [], []
+    for seed in range(10):
+        local = np.random.default_rng(seed)
+        levels = _noisy_hierarchy(local, leaves, branching=4, noise=0.2)
+        fixed = constrained_inference(levels, branching=4)
+        noisy_errors.append(np.abs(levels[2] - leaves).mean())
+        fixed_errors.append(np.abs(fixed[2] - leaves).mean())
+    assert np.mean(fixed_errors) < np.mean(noisy_errors)
+
+
+def test_weighted_average_pass_preserves_shapes():
+    rng = np.random.default_rng(2)
+    levels = [rng.random(1), rng.random(2), rng.random(4)]
+    blended = weighted_average_pass(levels, branching=2)
+    assert [len(level) for level in blended] == [1, 2, 4]
+
+
+def test_exact_hierarchy_is_fixed_point():
+    leaves = np.array([0.1, 0.2, 0.3, 0.4])
+    levels = [np.array([1.0]), np.array([0.3, 0.7]), leaves]
+    fixed = constrained_inference(levels, branching=2)
+    np.testing.assert_allclose(fixed[2], leaves, atol=1e-9)
+    np.testing.assert_allclose(fixed[0], [1.0], atol=1e-9)
+
+
+def test_invalid_hierarchy_rejected():
+    with pytest.raises(ValueError):
+        constrained_inference([np.zeros(1), np.zeros(3)], branching=2)
+    with pytest.raises(ValueError):
+        constrained_inference([np.zeros(1), np.zeros(2)], branching=1)
+    with pytest.raises(ValueError):
+        constrained_inference([], branching=2)
+
+
+def test_2d_constrained_inference_consistency():
+    rng = np.random.default_rng(3)
+    branching = 2
+    heights = (2, 2)
+    # Exact 2-D leaf distribution plus noise at every 2-dim level.
+    leaves = rng.random((4, 4))
+    leaves /= leaves.sum()
+    levels = {}
+    for l1 in range(3):
+        for l2 in range(3):
+            shape = (branching ** l1, branching ** l2)
+            block = leaves.reshape(shape[0], 4 // shape[0],
+                                   shape[1], 4 // shape[1]).sum(axis=(1, 3))
+            levels[(l1, l2)] = block + rng.normal(0, 0.05, shape)
+    fixed = constrained_inference_2d(levels, branching, heights)
+    # After the second pass, each level must be consistent along attribute 2:
+    # the children-sum along axis 1 equals the parent at the coarser level.
+    for l1 in range(3):
+        for l2 in range(2):
+            parents = fixed[(l1, l2)]
+            children = fixed[(l1, l2 + 1)]
+            sums = children.reshape(parents.shape[0], parents.shape[1],
+                                    branching).sum(axis=2)
+            np.testing.assert_allclose(parents, sums, atol=1e-8)
+
+
+def test_2d_constrained_inference_reduces_error():
+    rng = np.random.default_rng(4)
+    branching = 2
+    leaves = rng.random((8, 8))
+    leaves /= leaves.sum()
+    noisy_err, fixed_err = [], []
+    for seed in range(5):
+        local = np.random.default_rng(seed)
+        levels = {}
+        for l1 in range(4):
+            for l2 in range(4):
+                shape = (branching ** l1, branching ** l2)
+                block = leaves.reshape(shape[0], 8 // shape[0],
+                                       shape[1], 8 // shape[1]).sum(axis=(1, 3))
+                levels[(l1, l2)] = block + local.normal(0, 0.05, shape)
+        fixed = constrained_inference_2d(levels, branching, (3, 3))
+        noisy_err.append(np.abs(levels[(3, 3)] - leaves).mean())
+        fixed_err.append(np.abs(fixed[(3, 3)] - leaves).mean())
+    assert np.mean(fixed_err) < np.mean(noisy_err)

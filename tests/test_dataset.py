@@ -1,0 +1,96 @@
+"""Tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset
+
+
+@pytest.fixture
+def dataset():
+    values = np.array([[0, 1, 2],
+                       [3, 3, 0],
+                       [1, 2, 3],
+                       [0, 0, 0]])
+    return Dataset(values, domain_size=4, name="toy")
+
+
+def test_basic_properties(dataset):
+    assert dataset.n_users == 4
+    assert dataset.n_attributes == 3
+    assert dataset.domain_size == 4
+    assert dataset.attribute_names == ["a1", "a2", "a3"]
+
+
+def test_column_and_columns(dataset):
+    np.testing.assert_array_equal(dataset.column(1), [1, 3, 2, 0])
+    np.testing.assert_array_equal(dataset.columns((0, 2)),
+                                  [[0, 2], [3, 0], [1, 3], [0, 0]])
+
+
+def test_marginal_sums_to_one(dataset):
+    marginal = dataset.marginal(0)
+    assert marginal.sum() == pytest.approx(1.0)
+    assert marginal[0] == pytest.approx(0.5)
+
+
+def test_joint_marginal_consistent_with_marginals(dataset):
+    joint = dataset.joint_marginal(0, 1)
+    assert joint.shape == (4, 4)
+    assert joint.sum() == pytest.approx(1.0)
+    np.testing.assert_allclose(joint.sum(axis=1), dataset.marginal(0))
+    np.testing.assert_allclose(joint.sum(axis=0), dataset.marginal(1))
+
+
+def test_subset_and_sample(dataset, rng):
+    subset = dataset.subset(np.array([0, 2]))
+    assert subset.n_users == 2
+    sample = dataset.sample_users(10, rng)
+    assert sample.n_users == 10
+    assert sample.domain_size == dataset.domain_size
+
+
+def test_restrict_attributes(dataset):
+    restricted = dataset.restrict_attributes(2)
+    assert restricted.n_attributes == 2
+    assert restricted.attribute_names == ["a1", "a2"]
+    with pytest.raises(ValueError):
+        dataset.restrict_attributes(5)
+
+
+def test_rescale_domain_preserves_shape(rng):
+    values = rng.integers(0, 64, size=(1000, 2))
+    dataset = Dataset(values, 64)
+    rescaled = dataset.rescale_domain(16)
+    assert rescaled.domain_size == 16
+    assert rescaled.values.max() < 16
+    # Proportional rescaling: value v maps to floor(v / 4).
+    np.testing.assert_array_equal(rescaled.values, values // 4)
+
+
+def test_rescale_domain_up(rng):
+    values = rng.integers(0, 8, size=(500, 2))
+    dataset = Dataset(values, 8)
+    upscaled = dataset.rescale_domain(32)
+    assert upscaled.domain_size == 32
+    np.testing.assert_array_equal(upscaled.values, values * 4)
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        Dataset(np.array([1, 2, 3]), 4)          # not 2-D
+    with pytest.raises(ValueError):
+        Dataset(np.zeros((0, 2), dtype=int), 4)  # empty
+    with pytest.raises(ValueError):
+        Dataset(np.array([[5]]), 4)              # out of domain
+    with pytest.raises(ValueError):
+        Dataset(np.array([[0]]), 1)              # domain too small
+    with pytest.raises(ValueError):
+        Dataset(np.array([[0, 1]]), 4, attribute_names=["only_one"])
+
+
+def test_attribute_index_bounds(dataset):
+    with pytest.raises(ValueError):
+        dataset.column(3)
+    with pytest.raises(ValueError):
+        dataset.joint_marginal(0, 7)

@@ -1,0 +1,167 @@
+"""Edge-case and robustness tests across the library."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CALM, LHIO, MSW
+from repro.core import HDG, TDG, Grid1D, Grid2D
+from repro.datasets import Dataset, make_dataset
+from repro.frequency_oracles import OptimizedLocalHash
+from repro.postprocess import norm_sub
+from repro.queries import Predicate, RangeQuery, WorkloadGenerator, answer_query
+
+
+# ----------------------------------------------------------------------
+# Minimal-size datasets
+# ----------------------------------------------------------------------
+def test_mechanisms_work_with_two_attributes(rng):
+    dataset = Dataset(rng.integers(0, 16, size=(5_000, 2)), 16)
+    query = RangeQuery.from_dict({0: (0, 7), 1: (0, 7)})
+    for mechanism in (TDG(1.0, seed=0), HDG(1.0, seed=0), CALM(1.0, seed=0),
+                      MSW(1.0, seed=0), LHIO(1.0, seed=0)):
+        mechanism.fit(dataset)
+        assert np.isfinite(mechanism.answer(query))
+
+
+def test_hdg_with_tiny_population(rng):
+    # Far too few users for useful accuracy, but nothing should crash.
+    dataset = Dataset(rng.integers(0, 16, size=(50, 3)), 16)
+    mechanism = HDG(1.0, granularities=(4, 2), seed=0).fit(dataset)
+    query = RangeQuery.from_dict({0: (0, 7), 1: (0, 7)})
+    assert np.isfinite(mechanism.answer(query))
+
+
+def test_hdg_with_minimum_domain(rng):
+    dataset = Dataset(rng.integers(0, 4, size=(5_000, 3)), 4)
+    mechanism = HDG(1.0, seed=0).fit(dataset)
+    assert mechanism.chosen_g1 <= 4 and mechanism.chosen_g2 <= 4
+    query = RangeQuery.from_dict({0: (0, 1), 1: (2, 3)})
+    assert np.isfinite(mechanism.answer(query))
+
+
+# ----------------------------------------------------------------------
+# Degenerate queries
+# ----------------------------------------------------------------------
+def test_point_query_on_every_mechanism(small_dataset):
+    query = RangeQuery.from_dict({0: (5, 5), 1: (10, 10)})
+    truth = answer_query(small_dataset, query)
+    for mechanism in (TDG(2.0, granularity=8, seed=0),
+                      HDG(2.0, granularities=(8, 4), seed=0),
+                      CALM(2.0, seed=0)):
+        mechanism.fit(small_dataset)
+        estimate = mechanism.answer(query)
+        assert abs(estimate - truth) < 0.2
+
+
+def test_full_volume_query_on_every_mechanism(small_dataset):
+    c = small_dataset.domain_size
+    # 2-D full-volume queries must come back as (approximately) the total
+    # mass.  Full-volume queries over *all* attributes go through the λ-D
+    # estimation step, which does not pin the total to 1 (the paper's
+    # estimation error); they only need to stay in a sane range.
+    pair_query = RangeQuery.from_dict({0: (0, c - 1), 1: (0, c - 1)})
+    all_query = RangeQuery.from_dict({a: (0, c - 1)
+                                      for a in range(small_dataset.n_attributes)})
+    for mechanism in (TDG(1.0, seed=0), HDG(1.0, seed=0), MSW(1.0, seed=0)):
+        mechanism.fit(small_dataset)
+        assert mechanism.answer(pair_query) == pytest.approx(1.0, abs=0.15)
+        assert 0.3 <= mechanism.answer(all_query) <= 1.2
+
+
+def test_query_dimension_equals_n_attributes(small_dataset):
+    generator = WorkloadGenerator(small_dataset.n_attributes,
+                                  small_dataset.domain_size,
+                                  rng=np.random.default_rng(0))
+    queries = generator.random_workload(5, small_dataset.n_attributes, 0.5)
+    mechanism = HDG(1.0, seed=0).fit(small_dataset)
+    estimates = mechanism.answer_workload(queries)
+    assert np.isfinite(estimates).all()
+
+
+# ----------------------------------------------------------------------
+# Extreme privacy budgets
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("epsilon", [0.05, 5.0])
+def test_extreme_epsilon_values(small_dataset, epsilon):
+    mechanism = HDG(epsilon, seed=0).fit(small_dataset)
+    query = RangeQuery.from_dict({0: (0, 15), 1: (0, 15)})
+    assert np.isfinite(mechanism.answer(query))
+
+
+def test_very_high_epsilon_is_nearly_exact(small_dataset):
+    query = RangeQuery.from_dict({0: (0, 15), 1: (0, 15)})
+    truth = answer_query(small_dataset, query)
+    mechanism = HDG(8.0, granularities=(32, 16), seed=0).fit(small_dataset)
+    assert mechanism.answer(query) == pytest.approx(truth, abs=0.05)
+
+
+# ----------------------------------------------------------------------
+# Oracle / grid edge cases
+# ----------------------------------------------------------------------
+def test_olh_hash_range_override(rng):
+    oracle = OptimizedLocalHash(1.0, 32, rng=rng, hash_range=8)
+    assert oracle.hash_range == 8
+    values = rng.integers(0, 32, size=5_000)
+    assert oracle.estimate_frequencies(values).shape == (32,)
+
+
+def test_grid_granularity_equal_to_domain(rng):
+    grid = Grid2D((0, 1), 8, 8)
+    assert grid.cell_width == 1
+    pairs = rng.integers(0, 8, size=(1_000, 2))
+    oracle = OptimizedLocalHash(1.0, 64, rng=rng)
+    grid.collect(pairs, oracle)
+    assert grid.frequencies.shape == (8, 8)
+
+
+def test_grid1d_granularity_one():
+    grid = Grid1D(0, 8, 1)
+    grid.set_frequencies(np.array([1.0]))
+    assert grid.answer_range(0, 7) == pytest.approx(1.0)
+    assert grid.answer_range(0, 3) == pytest.approx(0.5)
+
+
+def test_norm_sub_huge_array():
+    rng = np.random.default_rng(0)
+    values = rng.normal(1e-6, 1e-4, size=1_000_000)
+    result = norm_sub(values)
+    assert result.sum() == pytest.approx(1.0, abs=1e-6)
+    assert (result >= 0).all()
+
+
+# ----------------------------------------------------------------------
+# Dataset edge cases
+# ----------------------------------------------------------------------
+def test_single_user_dataset():
+    dataset = Dataset(np.array([[3, 5]]), 8)
+    assert dataset.marginal(0)[3] == 1.0
+    query = RangeQuery.from_dict({0: (0, 3), 1: (4, 7)})
+    assert answer_query(dataset, query) == 1.0
+
+
+def test_constant_attribute_dataset(rng):
+    values = np.column_stack([np.full(2_000, 7),
+                              rng.integers(0, 16, size=2_000),
+                              rng.integers(0, 16, size=2_000)])
+    dataset = Dataset(values, 16)
+    mechanism = HDG(2.0, granularities=(8, 4), seed=0).fit(dataset)
+    hit = RangeQuery.from_dict({0: (4, 11), 1: (0, 15)})
+    miss = RangeQuery.from_dict({0: (12, 15), 1: (0, 15)})
+    assert mechanism.answer(hit) > mechanism.answer(miss)
+
+
+def test_make_dataset_with_many_attributes():
+    dataset = make_dataset("laplace", 2_000, 10, 16,
+                           rng=np.random.default_rng(0))
+    assert dataset.n_attributes == 10
+
+
+# ----------------------------------------------------------------------
+# Predicate corner values
+# ----------------------------------------------------------------------
+def test_predicate_at_domain_edges(small_dataset):
+    c = small_dataset.domain_size
+    mechanism = TDG(1.0, granularity=8, seed=0).fit(small_dataset)
+    for interval in [(0, 0), (c - 1, c - 1), (0, c - 1)]:
+        query = RangeQuery((Predicate(0, *interval), Predicate(1, 0, c - 1)))
+        assert np.isfinite(mechanism.answer(query))

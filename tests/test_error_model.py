@@ -1,0 +1,93 @@
+"""Tests for the analytical error model (Section 4.5 / 4.6)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (best_modelled_granularity, cell_noise_variance,
+                            grid1d_squared_error, grid2d_error_breakdown,
+                            grid2d_squared_error)
+from repro.core import choose_granularities_hdg, nearest_power_of_two, raw_g1, raw_g2
+
+
+def test_cell_noise_variance_formula():
+    epsilon, n_group, n_groups = 1.0, 10_000, 15
+    expected = 4 * n_groups * math.e / ((n_group * n_groups) * (math.e - 1) ** 2)
+    assert cell_noise_variance(epsilon, n_group, n_groups) == pytest.approx(expected)
+
+
+def test_cell_noise_variance_decreases_with_population():
+    small = cell_noise_variance(1.0, 1_000, 10)
+    large = cell_noise_variance(1.0, 100_000, 10)
+    assert large < small
+
+
+def test_cell_noise_variance_invalid_inputs():
+    with pytest.raises(ValueError):
+        cell_noise_variance(0.0, 100)
+    with pytest.raises(ValueError):
+        cell_noise_variance(1.0, 0)
+
+
+def test_grid_errors_have_a_minimum_in_granularity():
+    # The modelled error must be convex-ish: large at both extremes.
+    kwargs = dict(epsilon=1.0, n1=300_000, m1=6)
+    coarse = grid1d_squared_error(2, **kwargs)
+    fine = grid1d_squared_error(1024, **kwargs)
+    middle = grid1d_squared_error(16, **kwargs)
+    assert middle < coarse
+    assert middle < fine
+
+
+def test_guideline_g1_minimises_modelled_error():
+    epsilon, n1, m1 = 1.0, 285_714, 6
+    candidates = [2 ** k for k in range(1, 10)]
+    best = best_modelled_granularity(candidates, grid1d_squared_error,
+                                     epsilon=epsilon, n1=n1, m1=m1)
+    guideline = nearest_power_of_two(raw_g1(epsilon, n1, m1), minimum=2, maximum=512)
+    # The rounded guideline value is within one power of two of the brute
+    # force minimiser of the same model.
+    assert abs(math.log2(best) - math.log2(guideline)) <= 1
+
+
+def test_guideline_g2_minimises_modelled_error():
+    epsilon, n2, m2 = 1.0, 714_286, 15
+    candidates = [2 ** k for k in range(1, 8)]
+    best = best_modelled_granularity(candidates, grid2d_squared_error,
+                                     epsilon=epsilon, n2=n2, m2=m2)
+    guideline = nearest_power_of_two(raw_g2(epsilon, n2, m2), minimum=2, maximum=128)
+    assert abs(math.log2(best) - math.log2(guideline)) <= 1
+
+
+def test_breakdown_sums_to_total():
+    breakdown = grid2d_error_breakdown(4, 1.0, 714_286, 15)
+    total = grid2d_squared_error(4, 1.0, 714_286, 15)
+    assert breakdown.total == pytest.approx(total)
+    assert breakdown.noise > 0 and breakdown.non_uniformity > 0
+
+
+def test_noise_grows_and_non_uniformity_shrinks_with_granularity():
+    coarse = grid2d_error_breakdown(2, 1.0, 100_000, 15)
+    fine = grid2d_error_breakdown(16, 1.0, 100_000, 15)
+    assert fine.noise > coarse.noise
+    assert fine.non_uniformity < coarse.non_uniformity
+
+
+def test_hdg_guideline_consistent_with_model():
+    # The full HDG guideline (user split + rounding) should land near the
+    # model's brute-force optimum for both granularities.
+    epsilon, n_users, d, c = 1.0, 1_000_000, 6, 64
+    choice = choose_granularities_hdg(epsilon, n_users, d, c)
+    candidates = [2 ** k for k in range(1, 7)]
+    best_g2 = best_modelled_granularity(candidates, grid2d_squared_error,
+                                        epsilon=epsilon, n2=choice.n2, m2=choice.m2)
+    assert abs(math.log2(best_g2) - math.log2(choice.g2)) <= 1
+
+
+def test_invalid_granularity_rejected():
+    with pytest.raises(ValueError):
+        grid1d_squared_error(0, 1.0, 1000, 3)
+    with pytest.raises(ValueError):
+        grid2d_squared_error(0, 1.0, 1000, 3)
+    with pytest.raises(ValueError):
+        best_modelled_granularity([], grid1d_squared_error)

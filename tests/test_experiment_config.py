@@ -1,0 +1,51 @@
+"""Tests for the experiment configuration."""
+
+import pytest
+
+from repro.experiments import DEFAULT_METHODS, ExperimentConfig
+
+
+def test_defaults_match_paper_settings():
+    config = ExperimentConfig()
+    assert config.epsilon == 1.0
+    assert config.volume == 0.5
+    assert config.n_attributes == 6
+    assert config.domain_size == 64
+    assert config.n_queries == 200
+    assert config.methods == DEFAULT_METHODS
+
+
+def test_with_overrides_returns_new_config():
+    config = ExperimentConfig()
+    modified = config.with_overrides(epsilon=0.5, dataset="laplace")
+    assert modified.epsilon == 0.5
+    assert modified.dataset == "laplace"
+    assert config.epsilon == 1.0  # original unchanged
+
+
+def test_validation_accepts_defaults():
+    ExperimentConfig().validate()
+
+
+@pytest.mark.parametrize("overrides", [
+    {"n_users": 0},
+    {"n_attributes": 1},
+    {"domain_size": 63},
+    {"epsilon": 0.0},
+    {"query_dimension": 7},
+    {"volume": 0.0},
+    {"volume": 1.5},
+    {"n_queries": 0},
+    {"n_repeats": 0},
+    {"methods": ()},
+])
+def test_validation_rejects_bad_values(overrides):
+    config = ExperimentConfig().with_overrides(**overrides)
+    with pytest.raises(ValueError):
+        config.validate()
+
+
+def test_config_is_frozen():
+    config = ExperimentConfig()
+    with pytest.raises(Exception):
+        config.epsilon = 2.0

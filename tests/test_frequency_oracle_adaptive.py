@@ -1,0 +1,54 @@
+"""Tests for the adaptive GRR/OLH selection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.frequency_oracles import (AdaptiveFrequencyOracle,
+                                     GeneralizedRandomizedResponse,
+                                     OptimizedLocalHash, choose_oracle_kind,
+                                     grr_variance, olh_variance)
+
+
+def test_small_domain_prefers_grr():
+    # For c - 2 < 3 e^eps, GRR has lower variance.
+    assert choose_oracle_kind(1.0, 4) == "grr"
+    assert choose_oracle_kind(2.0, 8) == "grr"
+
+
+def test_large_domain_prefers_olh():
+    assert choose_oracle_kind(1.0, 64) == "olh"
+    assert choose_oracle_kind(0.5, 1024) == "olh"
+
+
+def test_crossover_matches_variance_formulas():
+    epsilon = 1.0
+    for c in range(2, 40):
+        expected = "grr" if grr_variance(epsilon, c, 1) <= olh_variance(epsilon, 1) else "olh"
+        assert choose_oracle_kind(epsilon, c) == expected
+
+
+def test_delegate_type_matches_choice():
+    grr_oracle = AdaptiveFrequencyOracle(1.0, 4, rng=np.random.default_rng(0))
+    assert isinstance(grr_oracle._delegate, GeneralizedRandomizedResponse)
+    olh_oracle = AdaptiveFrequencyOracle(1.0, 256, rng=np.random.default_rng(0))
+    assert isinstance(olh_oracle._delegate, OptimizedLocalHash)
+
+
+def test_adaptive_estimates_are_reasonable(rng):
+    values = rng.choice(4, size=30_000, p=[0.5, 0.3, 0.15, 0.05])
+    oracle = AdaptiveFrequencyOracle(1.0, 4, rng=rng)
+    estimates = oracle.estimate_frequencies(values)
+    true = np.bincount(values, minlength=4) / values.size
+    assert np.abs(estimates - true).max() < 0.03
+
+
+def test_threshold_domain_value():
+    oracle = AdaptiveFrequencyOracle(1.0, 16)
+    assert oracle.threshold_domain == pytest.approx(3 * math.e + 2)
+
+
+def test_invalid_domain_rejected():
+    with pytest.raises(ValueError):
+        choose_oracle_kind(1.0, 1)

@@ -1,0 +1,100 @@
+"""Tests for Generalized Randomized Response."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.frequency_oracles import GeneralizedRandomizedResponse, grr_variance
+
+
+@pytest.fixture
+def values(rng):
+    # A skewed distribution over a small domain.
+    return rng.choice(8, size=50_000, p=[0.4, 0.2, 0.1, 0.1, 0.08, 0.06, 0.04, 0.02])
+
+
+def test_perturbation_probabilities():
+    oracle = GeneralizedRandomizedResponse(1.0, 10, rng=np.random.default_rng(0))
+    e = math.exp(1.0)
+    assert oracle.p == pytest.approx(e / (e + 9))
+    assert oracle.q == pytest.approx(1 / (e + 9))
+    # The ratio p/q must equal e^eps (the LDP guarantee).
+    assert oracle.p / oracle.q == pytest.approx(e)
+
+
+def test_perturb_keeps_value_with_probability_p(rng):
+    oracle = GeneralizedRandomizedResponse(2.0, 6, rng=rng)
+    values = np.full(40_000, 3)
+    reports = oracle.perturb(values)
+    kept_fraction = float((reports == 3).mean())
+    assert kept_fraction == pytest.approx(oracle.p, abs=0.02)
+
+
+def test_perturb_output_stays_in_domain(rng):
+    oracle = GeneralizedRandomizedResponse(0.5, 12, rng=rng)
+    reports = oracle.perturb(rng.integers(0, 12, size=5_000))
+    assert reports.min() >= 0
+    assert reports.max() < 12
+
+
+def test_estimates_are_unbiased(values, rng):
+    oracle = GeneralizedRandomizedResponse(1.5, 8, rng=rng)
+    estimates = oracle.estimate_frequencies(values)
+    true = np.bincount(values, minlength=8) / values.size
+    assert np.abs(estimates - true).max() < 0.03
+
+
+def test_estimates_sum_to_one(values, rng):
+    oracle = GeneralizedRandomizedResponse(1.0, 8, rng=rng)
+    estimates = oracle.estimate_frequencies(values)
+    assert estimates.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+def test_higher_epsilon_reduces_error(values):
+    errors = []
+    true = np.bincount(values, minlength=8) / values.size
+    for epsilon in (0.2, 2.0):
+        maes = []
+        for seed in range(5):
+            oracle = GeneralizedRandomizedResponse(epsilon, 8,
+                                                   rng=np.random.default_rng(seed))
+            maes.append(np.abs(oracle.estimate_frequencies(values) - true).mean())
+        errors.append(np.mean(maes))
+    assert errors[1] < errors[0]
+
+
+def test_variance_formula_matches_equation_2():
+    assert grr_variance(1.0, 16, 1000) == pytest.approx(
+        (16 - 2 + math.e) / ((math.e - 1) ** 2 * 1000))
+    oracle = GeneralizedRandomizedResponse(1.0, 16)
+    assert oracle.variance(1000) == pytest.approx(grr_variance(1.0, 16, 1000))
+
+
+def test_empirical_variance_close_to_theory():
+    epsilon, c, n = 1.0, 5, 20_000
+    rng = np.random.default_rng(0)
+    values = rng.integers(0, c, size=n)
+    true = np.bincount(values, minlength=c) / n
+    estimates = []
+    for seed in range(30):
+        oracle = GeneralizedRandomizedResponse(epsilon, c,
+                                               rng=np.random.default_rng(seed))
+        estimates.append(oracle.estimate_frequencies(values)[0])
+    empirical = np.var(estimates)
+    theoretical = grr_variance(epsilon, c, n)
+    assert empirical == pytest.approx(theoretical, rel=0.6)
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ValueError):
+        GeneralizedRandomizedResponse(0.0, 8)
+    with pytest.raises(ValueError):
+        GeneralizedRandomizedResponse(1.0, 1)
+    oracle = GeneralizedRandomizedResponse(1.0, 4)
+    with pytest.raises(ValueError):
+        oracle.perturb(np.array([4]))
+    with pytest.raises(ValueError):
+        oracle.perturb(np.array([[1, 2]]))
+    with pytest.raises(ValueError):
+        oracle.perturb(np.array([], dtype=int))

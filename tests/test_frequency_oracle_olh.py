@@ -1,0 +1,102 @@
+"""Tests for Optimized Local Hash (both execution modes)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.frequency_oracles import OptimizedLocalHash, olh_variance
+
+
+@pytest.fixture
+def skewed_values(rng):
+    probabilities = np.array([0.3, 0.25, 0.15, 0.1, 0.07, 0.05, 0.04, 0.04])
+    return rng.choice(8, size=40_000, p=probabilities)
+
+
+def test_hash_range_defaults_to_e_eps_plus_one():
+    oracle = OptimizedLocalHash(1.0, 100)
+    assert oracle.hash_range == int(round(math.e)) + 1
+    oracle_small = OptimizedLocalHash(0.1, 100)
+    assert oracle_small.hash_range >= 2
+
+
+def test_fast_mode_estimates_unbiased(skewed_values, rng):
+    oracle = OptimizedLocalHash(1.0, 8, rng=rng, mode="fast")
+    estimates = oracle.estimate_frequencies(skewed_values)
+    true = np.bincount(skewed_values, minlength=8) / skewed_values.size
+    assert np.abs(estimates - true).max() < 0.03
+
+
+def test_user_mode_estimates_unbiased(rng):
+    values = rng.choice(6, size=4_000, p=[0.4, 0.25, 0.15, 0.1, 0.06, 0.04])
+    oracle = OptimizedLocalHash(1.5, 6, rng=rng, mode="user")
+    estimates = oracle.estimate_frequencies(values)
+    true = np.bincount(values, minlength=6) / values.size
+    assert np.abs(estimates - true).max() < 0.08
+
+
+def test_variance_formula_matches_equation_3():
+    assert olh_variance(1.0, 1000) == pytest.approx(
+        4 * math.e / ((math.e - 1) ** 2 * 1000))
+    oracle = OptimizedLocalHash(1.0, 64)
+    assert oracle.variance(1000) == pytest.approx(olh_variance(1.0, 1000))
+
+
+def test_variance_independent_of_domain_size():
+    small = OptimizedLocalHash(1.0, 8)
+    large = OptimizedLocalHash(1.0, 4096)
+    assert small.variance(1000) == pytest.approx(large.variance(1000))
+
+
+def test_fast_mode_empirical_variance_close_to_theory():
+    epsilon, c, n = 1.0, 16, 20_000
+    rng = np.random.default_rng(1)
+    values = rng.integers(0, c, size=n)
+    estimates = []
+    for seed in range(40):
+        oracle = OptimizedLocalHash(epsilon, c, rng=np.random.default_rng(seed),
+                                    mode="fast")
+        estimates.append(oracle.estimate_frequencies(values)[0])
+    empirical = np.var(estimates)
+    theoretical = olh_variance(epsilon, n)
+    assert empirical == pytest.approx(theoretical, rel=0.6)
+
+
+def test_higher_epsilon_reduces_error(skewed_values):
+    true = np.bincount(skewed_values, minlength=8) / skewed_values.size
+    errors = []
+    for epsilon in (0.2, 2.0):
+        maes = []
+        for seed in range(5):
+            oracle = OptimizedLocalHash(epsilon, 8,
+                                        rng=np.random.default_rng(seed))
+            maes.append(np.abs(oracle.estimate_frequencies(skewed_values) - true).mean())
+        errors.append(np.mean(maes))
+    assert errors[1] < errors[0]
+
+
+def test_perturb_reports_in_hash_range(rng):
+    oracle = OptimizedLocalHash(1.0, 32, rng=rng, mode="user")
+    _, _, reports = oracle.perturb(rng.integers(0, 32, size=2_000))
+    assert reports.min() >= 0
+    assert reports.max() < oracle.hash_range
+
+
+def test_large_domain_handled_by_fast_mode(rng):
+    oracle = OptimizedLocalHash(1.0, 4096, rng=rng, mode="fast")
+    values = rng.integers(0, 4096, size=30_000)
+    estimates = oracle.estimate_frequencies(values)
+    assert estimates.shape == (4096,)
+    assert np.isfinite(estimates).all()
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        OptimizedLocalHash(1.0, 8, mode="bogus")
+
+
+def test_estimates_roughly_sum_to_one(skewed_values, rng):
+    oracle = OptimizedLocalHash(1.0, 8, rng=rng, mode="fast")
+    estimates = oracle.estimate_frequencies(skewed_values)
+    assert estimates.sum() == pytest.approx(1.0, abs=0.1)

@@ -1,0 +1,95 @@
+"""Tests for the Square Wave mechanism and its EM reconstruction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.frequency_oracles import SquareWave, squarewave_parameters
+
+
+def test_parameters_satisfy_ldp_ratio():
+    for epsilon in (0.5, 1.0, 2.0):
+        delta, p, p_prime = squarewave_parameters(epsilon)
+        assert delta > 0
+        assert p / p_prime == pytest.approx(math.exp(epsilon))
+
+
+def test_parameters_total_probability_is_one():
+    for epsilon in (0.5, 1.0, 2.0):
+        delta, p, p_prime = squarewave_parameters(epsilon)
+        # Window of length 2*delta reported w.p. density p, the remaining
+        # length (1 + 2*delta) - 2*delta = 1 w.p. density p'.
+        total = 2 * delta * p + 1.0 * p_prime
+        assert total == pytest.approx(1.0)
+
+
+def test_transition_matrix_columns_are_distributions():
+    oracle = SquareWave(1.0, 16, rng=np.random.default_rng(0))
+    matrix = oracle._transition
+    assert matrix.shape == (16, 16)
+    np.testing.assert_allclose(matrix.sum(axis=0), 1.0, atol=1e-9)
+    assert (matrix >= 0).all()
+
+
+def test_perturbed_reports_stay_in_padded_domain(rng):
+    oracle = SquareWave(1.0, 32, rng=rng)
+    reports = oracle.perturb(rng.integers(0, 32, size=5_000))
+    assert reports.min() >= -oracle.delta - 1e-9
+    assert reports.max() <= 1.0 + oracle.delta + 1e-9
+
+
+def test_reports_concentrate_near_true_value(rng):
+    oracle = SquareWave(3.0, 32, rng=rng)
+    values = np.full(20_000, 16)  # centre of the domain
+    reports = oracle.perturb(values)
+    position = (16 + 0.5) / 32
+    near = np.abs(reports - position) <= oracle.delta + 1e-9
+    # With high epsilon most reports should fall inside the window.
+    assert near.mean() > 0.5
+
+
+def test_reconstruction_recovers_distribution_shape(rng):
+    c = 16
+    oracle = SquareWave(2.0, c, rng=rng)
+    # Bimodal distribution.
+    probabilities = np.zeros(c)
+    probabilities[3] = 0.5
+    probabilities[12] = 0.5
+    values = rng.choice(c, size=60_000, p=probabilities)
+    estimate = oracle.estimate_frequencies(values)
+    assert estimate.shape == (c,)
+    assert estimate.sum() == pytest.approx(1.0, abs=1e-6)
+    # The two modes should carry most of the reconstructed mass.
+    assert estimate[2:5].sum() + estimate[11:14].sum() > 0.6
+
+
+def test_estimate_is_a_distribution(rng):
+    oracle = SquareWave(1.0, 16, rng=rng)
+    estimate = oracle.estimate_frequencies(rng.integers(0, 16, size=10_000))
+    assert (estimate >= 0).all()
+    assert estimate.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+def test_range_answers_improve_with_epsilon(rng):
+    c = 32
+    probabilities = np.exp(-0.2 * np.arange(c))
+    probabilities /= probabilities.sum()
+    values = rng.choice(c, size=50_000, p=probabilities)
+    true_range = probabilities[:8].sum()
+    errors = []
+    for epsilon in (0.3, 3.0):
+        estimates = []
+        for seed in range(3):
+            oracle = SquareWave(epsilon, c, rng=np.random.default_rng(seed))
+            estimates.append(oracle.estimate_frequencies(values)[:8].sum())
+        errors.append(abs(np.mean(estimates) - true_range))
+    assert errors[1] < errors[0] + 0.02
+
+
+def test_reconstruct_rejects_bad_input():
+    oracle = SquareWave(1.0, 8)
+    with pytest.raises(ValueError):
+        oracle.reconstruct(np.zeros(5))
+    with pytest.raises(ValueError):
+        oracle.reconstruct(np.zeros(8))

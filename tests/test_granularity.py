@@ -1,0 +1,132 @@
+"""Tests for the granularity guideline (Section 4.6, Table 2)."""
+
+import math
+
+import pytest
+
+from repro.core import (choose_granularities_hdg, choose_granularity_tdg,
+                        default_user_split, nearest_power_of_two, raw_g1,
+                        raw_g2, recommended_granularity_table)
+
+
+def test_nearest_power_of_two_basic():
+    assert nearest_power_of_two(1.0) == 2            # floored at the minimum
+    assert nearest_power_of_two(2.9) == 2
+    assert nearest_power_of_two(3.1) == 4
+    assert nearest_power_of_two(23.3) == 16           # |23.3-16| < |32-23.3|
+    assert nearest_power_of_two(25.0) == 32
+    assert nearest_power_of_two(100.0, maximum=64) == 64
+
+
+def test_nearest_power_of_two_tie_goes_down():
+    assert nearest_power_of_two(3.0) == 2
+    assert nearest_power_of_two(6.0) == 4
+
+
+def test_raw_formulas_match_closed_forms():
+    epsilon, n1, m1 = 1.0, 285_714, 6
+    e_eps = math.exp(epsilon)
+    expected_g1 = (n1 * (e_eps - 1) ** 2 * 0.49 / (2 * m1 * e_eps)) ** (1 / 3)
+    assert raw_g1(epsilon, n1, m1) == pytest.approx(expected_g1)
+
+    n2, m2 = 714_286, 15
+    expected_g2 = math.sqrt(2 * 0.03 * (e_eps - 1) * math.sqrt(n2 / (m2 * e_eps)))
+    assert raw_g2(epsilon, n2, m2) == pytest.approx(expected_g2)
+
+
+def test_default_user_split_equal_population():
+    n1, n2, m1, m2 = default_user_split(1_000_000, 6)
+    assert m1 == 6 and m2 == 15
+    assert n1 + n2 == 1_000_000
+    # Equal population per group: n1/m1 == n2/m2 (up to rounding).
+    assert n1 / m1 == pytest.approx(n2 / m2, rel=0.01)
+
+
+def test_hdg_choice_matches_table2_reference_cell():
+    # Table 2, row (d=6, lg n=6), eps=1.0 -> (16, 4).
+    choice = choose_granularities_hdg(1.0, 1_000_000, 6, 64)
+    assert (choice.g1, choice.g2) == (16, 4)
+
+
+@pytest.mark.parametrize("epsilon,expected", [
+    (0.2, (8, 2)),
+    (0.6, (16, 2)),
+    (1.0, (16, 4)),
+    (1.4, (32, 4)),
+    (2.0, (32, 4)),
+])
+def test_hdg_choice_matches_table2_d6_row(epsilon, expected):
+    choice = choose_granularities_hdg(epsilon, 1_000_000, 6, 64)
+    assert (choice.g1, choice.g2) == expected
+
+
+@pytest.mark.parametrize("d,epsilon,expected", [
+    (3, 1.0, (32, 4)),
+    (10, 0.2, (4, 2)),
+    (10, 2.0, (32, 4)),
+])
+def test_hdg_choice_matches_table2_other_rows(d, epsilon, expected):
+    choice = choose_granularities_hdg(epsilon, 1_000_000, d, 64)
+    assert (choice.g1, choice.g2) == expected
+
+
+def test_granularities_never_exceed_domain():
+    choice = choose_granularities_hdg(2.0, 10_000_000, 3, 16)
+    assert choice.g1 <= 16
+    assert choice.g2 <= 16
+
+
+def test_g1_at_least_g2():
+    for epsilon in (0.2, 0.5, 1.0, 2.0):
+        for n in (10_000, 100_000, 1_000_000):
+            choice = choose_granularities_hdg(epsilon, n, 6, 64)
+            assert choice.g1 >= choice.g2
+            assert choice.g1 % choice.g2 == 0
+
+
+def test_sigma_override_changes_split():
+    default = choose_granularities_hdg(1.0, 100_000, 6, 64)
+    shifted = choose_granularities_hdg(1.0, 100_000, 6, 64, sigma=0.8)
+    assert shifted.n1 > default.n1
+    assert shifted.n1 + shifted.n2 == 100_000
+    with pytest.raises(ValueError):
+        choose_granularities_hdg(1.0, 100_000, 6, 64, sigma=1.5)
+
+
+def test_tdg_choice_uses_all_users():
+    choice = choose_granularity_tdg(1.0, 1_000_000, 6, 64)
+    assert choice.n2 == 1_000_000
+    assert choice.m2 == 15
+    assert choice.g2 == 4
+
+
+def test_granularity_monotone_in_population():
+    small = choose_granularity_tdg(1.0, 50_000, 6, 64)
+    large = choose_granularity_tdg(1.0, 5_000_000, 6, 64)
+    assert large.g2 >= small.g2
+
+
+def test_granularity_monotone_in_epsilon():
+    low = choose_granularities_hdg(0.2, 1_000_000, 6, 64)
+    high = choose_granularities_hdg(2.0, 1_000_000, 6, 64)
+    assert high.g1 >= low.g1
+    assert high.g2 >= low.g2
+
+
+def test_recommended_table_covers_requested_settings():
+    table = recommended_granularity_table([0.2, 1.0],
+                                          [(6, 6.0), (3, 6.0)], domain_size=64)
+    assert (6, 6.0, 1.0) in table
+    assert table[(6, 6.0, 1.0)] == (16, 4)
+    assert len(table) == 4
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ValueError):
+        raw_g1(1.0, 0, 6)
+    with pytest.raises(ValueError):
+        raw_g2(1.0, 100, 0)
+    with pytest.raises(ValueError):
+        default_user_split(100, 1)
+    with pytest.raises(ValueError):
+        choose_granularity_tdg(1.0, 100, 1, 64)

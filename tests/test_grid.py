@@ -1,0 +1,175 @@
+"""Tests for the 1-D and 2-D grid primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core import Grid1D, Grid2D
+from repro.frequency_oracles import OptimizedLocalHash
+
+
+class _ExactOracle:
+    """Noise-free stand-in for a frequency oracle (tests isolation)."""
+
+    def __init__(self, domain_size):
+        self.domain_size = domain_size
+
+    def estimate_frequencies(self, values):
+        counts = np.bincount(values, minlength=self.domain_size)
+        return counts / values.size
+
+
+# ----------------------------------------------------------------------
+# Grid1D
+# ----------------------------------------------------------------------
+def test_grid1d_cell_geometry():
+    grid = Grid1D(attribute=0, domain_size=16, granularity=4)
+    assert grid.cell_width == 4
+    assert grid.cell_index(0) == 0
+    assert grid.cell_index(15) == 3
+    assert grid.cell_bounds(1) == (4, 7)
+
+
+def test_grid1d_requires_divisible_granularity():
+    with pytest.raises(ValueError):
+        Grid1D(0, 16, 3)
+    with pytest.raises(ValueError):
+        Grid1D(0, 16, 32)
+    with pytest.raises(ValueError):
+        Grid1D(0, 16, 0)
+
+
+def test_grid1d_collect_with_exact_oracle():
+    grid = Grid1D(0, 8, 4)
+    values = np.array([0, 1, 2, 3, 4, 5, 6, 7])
+    grid.collect(values, _ExactOracle(4))
+    np.testing.assert_allclose(grid.frequencies, 0.25)
+
+
+def test_grid1d_collect_checks_oracle_domain():
+    grid = Grid1D(0, 8, 4)
+    with pytest.raises(ValueError):
+        grid.collect(np.array([0, 1]), _ExactOracle(8))
+
+
+def test_grid1d_answer_full_cells():
+    grid = Grid1D(0, 16, 4)
+    grid.set_frequencies(np.array([0.1, 0.2, 0.3, 0.4]))
+    assert grid.answer_range(0, 7) == pytest.approx(0.3)
+    assert grid.answer_range(0, 15) == pytest.approx(1.0)
+
+
+def test_grid1d_answer_partial_cells_uses_uniformity():
+    grid = Grid1D(0, 16, 4)
+    grid.set_frequencies(np.array([0.1, 0.2, 0.3, 0.4]))
+    # [0, 1] covers half of the first cell.
+    assert grid.answer_range(0, 1) == pytest.approx(0.05)
+    # [2, 5] covers half of cell 0 and half of cell 1.
+    assert grid.answer_range(2, 5) == pytest.approx(0.05 + 0.1)
+
+
+def test_grid1d_answer_invalid_interval():
+    grid = Grid1D(0, 16, 4)
+    with pytest.raises(ValueError):
+        grid.answer_range(3, 2)
+    with pytest.raises(ValueError):
+        grid.answer_range(0, 16)
+
+
+def test_grid1d_set_frequencies_validates_shape():
+    grid = Grid1D(0, 16, 4)
+    with pytest.raises(ValueError):
+        grid.set_frequencies(np.zeros(5))
+
+
+def test_grid1d_collect_with_olh_is_accurate(rng):
+    grid = Grid1D(0, 64, 8)
+    cell_probabilities = np.array([0.3, 0.2, 0.15, 0.1, 0.1, 0.05, 0.05, 0.05])
+    value_probabilities = np.repeat(cell_probabilities / 8, 8)
+    values = rng.choice(64, size=40_000, p=value_probabilities)
+    grid.collect(values, OptimizedLocalHash(2.0, 8, rng=rng))
+    exact = Grid1D(0, 64, 8)
+    exact.collect(values, _ExactOracle(8))
+    assert np.abs(grid.frequencies - exact.frequencies).max() < 0.05
+
+
+# ----------------------------------------------------------------------
+# Grid2D
+# ----------------------------------------------------------------------
+def test_grid2d_cell_geometry():
+    grid = Grid2D((0, 1), domain_size=16, granularity=4)
+    assert grid.cell_width == 4
+    bounds = grid.cell_bounds(1, 2)
+    assert bounds == (4, 7, 8, 11)
+
+
+def test_grid2d_cell_index_flattening():
+    grid = Grid2D((0, 1), 8, 2)
+    pairs = np.array([[0, 0], [0, 7], [7, 0], [7, 7]])
+    np.testing.assert_array_equal(grid.cell_index(pairs), [0, 1, 2, 3])
+
+
+def test_grid2d_rejects_bad_attributes():
+    with pytest.raises(ValueError):
+        Grid2D((1, 1), 8, 2)
+    with pytest.raises(ValueError):
+        Grid2D((0,), 8, 2)
+
+
+def test_grid2d_collect_with_exact_oracle():
+    grid = Grid2D((0, 1), 4, 2)
+    pairs = np.array([[0, 0], [0, 3], [3, 0], [3, 3]])
+    grid.collect(pairs, _ExactOracle(4))
+    np.testing.assert_allclose(grid.frequencies, 0.25)
+
+
+def test_grid2d_answer_fully_covered():
+    grid = Grid2D((0, 1), 8, 2)
+    grid.set_frequencies(np.array([[0.1, 0.2], [0.3, 0.4]]))
+    assert grid.answer_range((0, 3), (0, 3)) == pytest.approx(0.1)
+    assert grid.answer_range((0, 7), (0, 7)) == pytest.approx(1.0)
+
+
+def test_grid2d_answer_partial_uniform_guess():
+    grid = Grid2D((0, 1), 8, 2)
+    grid.set_frequencies(np.array([[0.1, 0.2], [0.3, 0.4]]))
+    # [0,1]x[0,1] covers a quarter of the first cell (2x2 of 4x4 values).
+    assert grid.answer_range((0, 1), (0, 1)) == pytest.approx(0.1 * 4 / 16)
+
+
+def test_grid2d_answer_partial_with_response_matrix():
+    grid = Grid2D((0, 1), 4, 2)
+    grid.set_frequencies(np.array([[0.5, 0.0], [0.0, 0.5]]))
+    # Response matrix concentrating the first cell's mass on value (0, 0).
+    matrix = np.zeros((4, 4))
+    matrix[0, 0] = 0.5
+    matrix[2:, 2:] = 0.5 / 4
+    # Query covering just value (0, 0): partial cell, matrix says all 0.5 there.
+    assert grid.answer_range((0, 0), (0, 0), response_matrix=matrix) == pytest.approx(0.5)
+    # Query covering value (1, 1): matrix says nothing there.
+    assert grid.answer_range((1, 1), (1, 1), response_matrix=matrix) == pytest.approx(0.0)
+
+
+def test_grid2d_fully_covered_cells_ignore_matrix():
+    grid = Grid2D((0, 1), 4, 2)
+    grid.set_frequencies(np.array([[0.5, 0.0], [0.0, 0.5]]))
+    matrix = np.full((4, 4), 1 / 16)
+    # The query covers the first cell entirely: the cell frequency is used,
+    # not the matrix content.
+    assert grid.answer_range((0, 1), (0, 1), response_matrix=matrix) == pytest.approx(0.5)
+
+
+def test_grid2d_answer_validates_inputs():
+    grid = Grid2D((0, 1), 8, 2)
+    with pytest.raises(ValueError):
+        grid.answer_range((0, 8), (0, 3))
+    with pytest.raises(ValueError):
+        grid.answer_range((0, 3), (0, 3), response_matrix=np.zeros((4, 4)))
+
+
+def test_grid2d_marginal():
+    grid = Grid2D((0, 1), 8, 2)
+    grid.set_frequencies(np.array([[0.1, 0.2], [0.3, 0.4]]))
+    np.testing.assert_allclose(grid.marginal(0), [0.3, 0.7])
+    np.testing.assert_allclose(grid.marginal(1), [0.4, 0.6])
+    with pytest.raises(ValueError):
+        grid.marginal(2)

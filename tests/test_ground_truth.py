@@ -1,0 +1,66 @@
+"""Tests for exact (non-private) query answering."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset
+from repro.queries import (RangeQuery, answer_query, answer_query_from_joint,
+                           answer_workload)
+
+
+@pytest.fixture
+def dataset():
+    values = np.array([
+        [0, 0, 0],
+        [1, 1, 1],
+        [2, 2, 2],
+        [3, 3, 3],
+        [0, 3, 1],
+    ])
+    return Dataset(values, domain_size=4)
+
+
+def test_single_attribute_query(dataset):
+    query = RangeQuery.from_dict({0: (0, 1)})
+    assert answer_query(dataset, query) == pytest.approx(3 / 5)
+
+
+def test_two_attribute_query(dataset):
+    query = RangeQuery.from_dict({0: (0, 1), 1: (0, 1)})
+    assert answer_query(dataset, query) == pytest.approx(2 / 5)
+
+
+def test_full_domain_query_answers_one(dataset):
+    query = RangeQuery.from_dict({0: (0, 3), 1: (0, 3), 2: (0, 3)})
+    assert answer_query(dataset, query) == pytest.approx(1.0)
+
+
+def test_empty_query_region(dataset):
+    query = RangeQuery.from_dict({0: (3, 3), 1: (0, 0)})
+    assert answer_query(dataset, query) == 0.0
+
+
+def test_answer_workload_matches_individual_answers(dataset):
+    queries = [RangeQuery.from_dict({0: (0, 1)}),
+               RangeQuery.from_dict({1: (2, 3), 2: (1, 2)})]
+    answers = answer_workload(dataset, queries)
+    assert answers.shape == (2,)
+    assert answers[0] == pytest.approx(answer_query(dataset, queries[0]))
+    assert answers[1] == pytest.approx(answer_query(dataset, queries[1]))
+
+
+def test_answer_from_joint_matches_record_level(dataset):
+    # Full 3-D joint distribution of the toy dataset.
+    joint = np.zeros((4, 4, 4))
+    for row in dataset.values:
+        joint[tuple(row)] += 1 / dataset.n_users
+    query = RangeQuery.from_dict({0: (0, 1), 2: (1, 3)})
+    expected = answer_query(dataset, query)
+    via_joint = answer_query_from_joint(joint, query, attribute_order=(0, 1, 2))
+    assert via_joint == pytest.approx(expected)
+
+
+def test_consistency_with_marginals(small_dataset):
+    # Summing a 1-D query over the whole domain must give 1.
+    query = RangeQuery.from_dict({2: (0, small_dataset.domain_size - 1)})
+    assert answer_query(small_dataset, query) == pytest.approx(1.0)

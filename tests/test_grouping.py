@@ -1,0 +1,66 @@
+"""Tests for user partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.protocol import (partition_users, partition_users_weighted,
+                            split_population)
+
+
+def test_partition_covers_every_user_once(rng):
+    groups = partition_users(1_000, 7, rng)
+    combined = np.concatenate(groups)
+    assert len(combined) == 1_000
+    assert len(np.unique(combined)) == 1_000
+
+
+def test_partition_sizes_balanced(rng):
+    groups = partition_users(1_003, 10, rng)
+    sizes = [len(group) for group in groups]
+    assert max(sizes) - min(sizes) <= 1
+    assert sum(sizes) == 1_003
+
+
+def test_partition_more_groups_than_users(rng):
+    groups = partition_users(3, 10, rng)
+    assert len(groups) == 10
+    assert sum(len(group) for group in groups) == 3
+
+
+def test_partition_is_random(rng):
+    first = partition_users(100, 2, np.random.default_rng(0))
+    second = partition_users(100, 2, np.random.default_rng(1))
+    assert not np.array_equal(first[0], second[0])
+
+
+def test_partition_invalid_inputs(rng):
+    with pytest.raises(ValueError):
+        partition_users(0, 2, rng)
+    with pytest.raises(ValueError):
+        partition_users(10, 0, rng)
+
+
+def test_weighted_partition_respects_sizes(rng):
+    groups = partition_users_weighted(100, [30, 70], rng)
+    assert len(groups[0]) == 30
+    assert len(groups[1]) == 70
+    combined = np.concatenate(groups)
+    assert len(np.unique(combined)) == 100
+
+
+def test_weighted_partition_validates_sizes(rng):
+    with pytest.raises(ValueError):
+        partition_users_weighted(100, [30, 60], rng)
+    with pytest.raises(ValueError):
+        partition_users_weighted(100, [-10, 110], rng)
+
+
+def test_split_population():
+    first, second = split_population(100, 0.3)
+    assert first == 30
+    assert second == 70
+    # Extremes are clamped so neither block is empty.
+    first, second = split_population(10, 0.999)
+    assert second >= 1
+    with pytest.raises(ValueError):
+        split_population(100, 0.0)

@@ -1,0 +1,61 @@
+"""Tests for the universal hash family used by OLH."""
+
+import numpy as np
+import pytest
+
+from repro.frequency_oracles.hashing import UniversalHashFamily
+
+
+def test_outputs_within_range():
+    family = UniversalHashFamily(100, 8, rng=np.random.default_rng(0))
+    a, b = family.sample_seeds(50)
+    values = np.arange(100)
+    for seed_a, seed_b in zip(a[:10], b[:10]):
+        hashed = family.evaluate(np.array([seed_a]), np.array([seed_b]), values)
+        assert hashed.min() >= 0
+        assert hashed.max() < 8
+
+
+def test_deterministic_given_seeds():
+    family = UniversalHashFamily(64, 5, rng=np.random.default_rng(1))
+    a, b = family.sample_seeds(3)
+    first = family.evaluate(a, b, 17)
+    second = family.evaluate(a, b, 17)
+    np.testing.assert_array_equal(first, second)
+
+
+def test_evaluate_matrix_matches_elementwise():
+    family = UniversalHashFamily(16, 4, rng=np.random.default_rng(2))
+    a, b = family.sample_seeds(6)
+    matrix = family.evaluate_matrix(a, b)
+    assert matrix.shape == (6, 16)
+    for row in range(6):
+        for value in range(16):
+            single = family.evaluate(a[row:row + 1], b[row:row + 1], value)
+            assert matrix[row, value] == single[0]
+
+
+def test_hash_distribution_roughly_uniform():
+    family = UniversalHashFamily(1000, 4, rng=np.random.default_rng(3))
+    a, b = family.sample_seeds(2000)
+    hashed = family.evaluate(a, b, 123)
+    counts = np.bincount(hashed, minlength=4)
+    # Each bucket should receive roughly 1/4 of the 2000 hashes.
+    assert counts.min() > 2000 / 4 * 0.7
+    assert counts.max() < 2000 / 4 * 1.3
+
+
+def test_different_seeds_give_different_functions():
+    family = UniversalHashFamily(64, 8, rng=np.random.default_rng(4))
+    a, b = family.sample_seeds(2)
+    values = np.arange(64)
+    row0 = family.evaluate(a[:1], b[:1], values)
+    row1 = family.evaluate(a[1:], b[1:], values)
+    assert not np.array_equal(row0, row1)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        UniversalHashFamily(0, 4)
+    with pytest.raises(ValueError):
+        UniversalHashFamily(10, 1)

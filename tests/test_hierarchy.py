@@ -1,0 +1,107 @@
+"""Tests for the interval hierarchy used by HIO/LHIO."""
+
+import pytest
+
+from repro.baselines import IntervalHierarchy, effective_branching
+
+
+def test_effective_branching_powers_of_four():
+    assert effective_branching(64, 4) == 4
+    assert effective_branching(256, 4) == 4
+    assert effective_branching(16, 4) == 4
+
+
+def test_effective_branching_falls_back_to_two():
+    assert effective_branching(32, 4) == 2
+    assert effective_branching(128, 4) == 2
+
+
+def test_effective_branching_invalid_domain():
+    with pytest.raises(ValueError):
+        effective_branching(1, 4)
+
+
+def test_hierarchy_levels_and_widths():
+    hierarchy = IntervalHierarchy(64, branching=4)
+    assert hierarchy.branching == 4
+    assert hierarchy.height == 3
+    assert hierarchy.n_levels == 4
+    assert hierarchy.nodes_at_level(0) == 1
+    assert hierarchy.nodes_at_level(3) == 64
+    assert hierarchy.node_width(0) == 64
+    assert hierarchy.node_width(3) == 1
+
+
+def test_node_bounds():
+    hierarchy = IntervalHierarchy(16, branching=4)
+    root = hierarchy.node(0, 0)
+    assert (root.low, root.high) == (0, 15)
+    node = hierarchy.node(1, 2)
+    assert (node.low, node.high) == (8, 11)
+    with pytest.raises(ValueError):
+        hierarchy.node(1, 4)
+    with pytest.raises(ValueError):
+        hierarchy.node(5, 0)
+
+
+def test_node_containing():
+    hierarchy = IntervalHierarchy(16, branching=2)
+    assert hierarchy.node_containing(0, 5) == 0
+    assert hierarchy.node_containing(1, 5) == 0
+    assert hierarchy.node_containing(4, 5) == 5
+    with pytest.raises(ValueError):
+        hierarchy.node_containing(1, 16)
+
+
+def test_decompose_full_domain_is_root():
+    hierarchy = IntervalHierarchy(64, branching=4)
+    nodes = hierarchy.decompose(0, 63)
+    assert len(nodes) == 1
+    assert nodes[0].level == 0
+
+
+def test_decompose_single_value_is_leaf():
+    hierarchy = IntervalHierarchy(64, branching=4)
+    nodes = hierarchy.decompose(17, 17)
+    assert len(nodes) == 1
+    assert nodes[0].level == hierarchy.height
+    assert nodes[0].low == nodes[0].high == 17
+
+
+def test_decompose_covers_interval_exactly():
+    hierarchy = IntervalHierarchy(64, branching=4)
+    for low, high in [(0, 31), (5, 40), (13, 13), (1, 62), (16, 47)]:
+        nodes = hierarchy.decompose(low, high)
+        covered = sorted(value for node in nodes
+                         for value in range(node.low, node.high + 1))
+        assert covered == list(range(low, high + 1))
+
+
+def test_decompose_nodes_are_disjoint():
+    hierarchy = IntervalHierarchy(64, branching=2)
+    nodes = hierarchy.decompose(3, 57)
+    covered = [value for node in nodes for value in range(node.low, node.high + 1)]
+    assert len(covered) == len(set(covered))
+
+
+def test_decompose_uses_few_nodes():
+    hierarchy = IntervalHierarchy(64, branching=4)
+    # A canonical cover uses at most ~2*(b-1)*h nodes.
+    bound = 2 * (hierarchy.branching - 1) * hierarchy.height + 2
+    for low, high in [(0, 31), (5, 40), (1, 62), (10, 53)]:
+        assert len(hierarchy.decompose(low, high)) <= bound
+
+
+def test_decompose_aligned_interval_single_node():
+    hierarchy = IntervalHierarchy(64, branching=4)
+    nodes = hierarchy.decompose(16, 31)
+    assert len(nodes) == 1
+    assert nodes[0].level == 1
+
+
+def test_decompose_invalid_interval():
+    hierarchy = IntervalHierarchy(16, branching=2)
+    with pytest.raises(ValueError):
+        hierarchy.decompose(4, 2)
+    with pytest.raises(ValueError):
+        hierarchy.decompose(0, 16)

@@ -1,0 +1,53 @@
+"""Tests for the Maximum-Entropy (IPF) combiner."""
+
+import numpy as np
+import pytest
+
+from repro.estimation import Constraint, max_entropy_estimate, weighted_update
+
+
+def test_result_is_a_distribution():
+    constraints = [Constraint(indices=np.array([0, 1]), target=0.4)]
+    estimate = max_entropy_estimate(4, constraints)
+    assert (estimate >= 0).all()
+    assert estimate.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+def test_constraints_are_satisfied():
+    constraints = [Constraint(indices=np.array([0, 1]), target=0.3),
+                   Constraint(indices=np.array([0, 2]), target=0.6)]
+    estimate = max_entropy_estimate(4, constraints)
+    assert estimate[[0, 1]].sum() == pytest.approx(0.3, abs=1e-4)
+    assert estimate[[0, 2]].sum() == pytest.approx(0.6, abs=1e-4)
+
+
+def test_independent_marginals_give_product_distribution():
+    row0 = Constraint(indices=np.array([0, 1]), target=0.3)
+    col0 = Constraint(indices=np.array([0, 2]), target=0.4)
+    estimate = max_entropy_estimate(4, [row0, col0])
+    expected = np.array([0.3 * 0.4, 0.3 * 0.6, 0.7 * 0.4, 0.7 * 0.6])
+    np.testing.assert_allclose(estimate, expected, atol=1e-3)
+
+
+def test_targets_are_clipped_to_unit_interval():
+    constraints = [Constraint(indices=np.array([0]), target=1.7)]
+    estimate = max_entropy_estimate(3, constraints)
+    assert estimate[0] == pytest.approx(1.0, abs=1e-6)
+
+
+def test_agrees_with_weighted_update_on_well_posed_problem():
+    constraints = [Constraint(indices=np.array([0, 1]), target=0.25),
+                   Constraint(indices=np.array([2, 3]), target=0.75),
+                   Constraint(indices=np.array([0, 2]), target=0.5)]
+    maxent = max_entropy_estimate(4, constraints)
+    wu = weighted_update(4, constraints, max_iterations=500).estimate
+    # Both combiners should land on essentially the same distribution
+    # (the paper reports "almost the same accuracy").
+    np.testing.assert_allclose(maxent, wu, atol=5e-3)
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ValueError):
+        max_entropy_estimate(0, [Constraint(indices=np.array([0]), target=0.5)])
+    with pytest.raises(ValueError):
+        max_entropy_estimate(4, [])

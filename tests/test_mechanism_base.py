@@ -1,0 +1,81 @@
+"""Tests for the shared mechanism interface and its validations."""
+
+import numpy as np
+import pytest
+
+from repro.core import HDG, TDG, RangeQueryMechanism
+from repro.baselines import MSW, Uniform
+from repro.datasets import Dataset
+from repro.queries import RangeQuery
+
+
+def test_epsilon_must_be_positive():
+    for mechanism_class in (TDG, HDG, MSW):
+        with pytest.raises(ValueError):
+            mechanism_class(epsilon=0.0)
+        with pytest.raises(ValueError):
+            mechanism_class(epsilon=-1.0)
+
+
+def test_fit_returns_self(tiny_dataset):
+    mechanism = Uniform()
+    assert mechanism.fit(tiny_dataset) is mechanism
+    assert mechanism.is_fitted
+
+
+def test_is_fitted_false_before_fit():
+    assert not Uniform().is_fitted
+    assert not TDG(1.0).is_fitted
+
+
+def test_answer_workload_preserves_order(tiny_dataset):
+    mechanism = Uniform().fit(tiny_dataset)
+    c = tiny_dataset.domain_size
+    queries = [RangeQuery.from_dict({0: (0, c // 4 - 1)}),
+               RangeQuery.from_dict({0: (0, c // 2 - 1)}),
+               RangeQuery.from_dict({0: (0, c - 1)})]
+    answers = mechanism.answer_workload(queries)
+    assert answers[0] < answers[1] < answers[2]
+
+
+def test_answer_returns_python_float(tiny_dataset):
+    mechanism = Uniform().fit(tiny_dataset)
+    query = RangeQuery.from_dict({0: (0, 3)})
+    assert isinstance(mechanism.answer(query), float)
+
+
+def test_query_attribute_out_of_range_rejected(tiny_dataset):
+    mechanism = Uniform().fit(tiny_dataset)
+    query = RangeQuery.from_dict({tiny_dataset.n_attributes: (0, 1)})
+    with pytest.raises(ValueError):
+        mechanism.answer(query)
+
+
+def test_query_interval_out_of_domain_rejected(tiny_dataset):
+    mechanism = Uniform().fit(tiny_dataset)
+    query = RangeQuery.from_dict({0: (0, tiny_dataset.domain_size)})
+    with pytest.raises(ValueError):
+        mechanism.answer(query)
+
+
+def test_refit_on_new_dataset_updates_metadata(rng):
+    first = Dataset(rng.integers(0, 8, size=(500, 2)), 8)
+    second = Dataset(rng.integers(0, 16, size=(500, 3)), 16)
+    mechanism = Uniform()
+    mechanism.fit(first)
+    with pytest.raises(ValueError):
+        mechanism.answer(RangeQuery.from_dict({2: (0, 1)}))
+    mechanism.fit(second)
+    assert mechanism.answer(RangeQuery.from_dict({2: (0, 15)})) == pytest.approx(1.0)
+
+
+def test_subclasses_report_names():
+    assert TDG(1.0).name == "TDG"
+    assert HDG(1.0).name == "HDG"
+    assert Uniform().name == "Uni"
+    assert MSW(1.0).name == "MSW"
+
+
+def test_cannot_instantiate_abstract_base():
+    with pytest.raises(TypeError):
+        RangeQueryMechanism(1.0)

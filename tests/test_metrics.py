@@ -1,0 +1,41 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (RepeatedRunSummary, absolute_errors, error_histogram,
+                           mean_absolute_error, mean_squared_error)
+
+
+def test_absolute_errors_elementwise():
+    errors = absolute_errors(np.array([0.1, 0.5]), np.array([0.2, 0.4]))
+    np.testing.assert_allclose(errors, [0.1, 0.1])
+
+
+def test_mae_and_mse():
+    estimates = np.array([0.0, 1.0, 0.5])
+    truths = np.array([0.5, 0.5, 0.5])
+    assert mean_absolute_error(estimates, truths) == pytest.approx(1 / 3)
+    assert mean_squared_error(estimates, truths) == pytest.approx(
+        (0.25 + 0.25 + 0.0) / 3)
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        mean_absolute_error(np.zeros(3), np.zeros(4))
+
+
+def test_repeated_run_summary():
+    summary = RepeatedRunSummary.from_values([0.1, 0.2, 0.3])
+    assert summary.mean == pytest.approx(0.2)
+    assert summary.n_runs == 3
+    assert summary.std == pytest.approx(np.std([0.1, 0.2, 0.3]))
+    with pytest.raises(ValueError):
+        RepeatedRunSummary.from_values([])
+
+
+def test_error_histogram_counts_all_queries():
+    errors = np.array([0.01, 0.02, 0.5, 0.03])
+    counts, edges = error_histogram(errors, n_bins=5)
+    assert counts.sum() == 4
+    assert len(edges) == 6

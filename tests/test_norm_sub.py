@@ -1,0 +1,77 @@
+"""Tests for the Norm-Sub non-negativity post-processor."""
+
+import numpy as np
+import pytest
+
+from repro.postprocess import clip_to_zero, norm_sub
+
+
+def test_already_valid_distribution_unchanged():
+    values = np.array([0.25, 0.25, 0.25, 0.25])
+    result = norm_sub(values)
+    np.testing.assert_allclose(result, values)
+
+
+def test_negative_entries_removed():
+    values = np.array([0.6, 0.5, -0.1])
+    result = norm_sub(values)
+    assert (result >= 0).all()
+    assert result.sum() == pytest.approx(1.0)
+
+
+def test_result_sums_to_target():
+    rng = np.random.default_rng(0)
+    values = rng.normal(0.1, 0.3, size=50)
+    result = norm_sub(values, total=1.0)
+    assert result.sum() == pytest.approx(1.0, abs=1e-9)
+    assert (result >= 0).all()
+
+
+def test_custom_total():
+    values = np.array([3.0, -1.0, 2.0])
+    result = norm_sub(values, total=2.0)
+    assert result.sum() == pytest.approx(2.0)
+    assert (result >= 0).all()
+
+
+def test_all_negative_falls_back_to_uniform():
+    values = np.array([-1.0, -2.0, -3.0, -4.0])
+    result = norm_sub(values)
+    np.testing.assert_allclose(result, 0.25)
+
+
+def test_preserves_shape_for_matrices():
+    rng = np.random.default_rng(1)
+    values = rng.normal(1 / 16, 0.1, size=(4, 4))
+    result = norm_sub(values)
+    assert result.shape == (4, 4)
+    assert result.sum() == pytest.approx(1.0)
+
+
+def test_preserves_order_of_large_entries():
+    values = np.array([0.9, 0.4, -0.2, -0.1])
+    result = norm_sub(values)
+    # Norm-Sub shifts positive entries by a common amount, so order among
+    # surviving entries is preserved.
+    assert result[0] > result[1]
+    assert result[2] == 0.0 and result[3] == 0.0
+
+
+def test_zero_total_allowed():
+    values = np.array([0.5, -0.5])
+    result = norm_sub(values, total=0.0)
+    assert (result >= 0).all()
+    assert result.sum() == pytest.approx(0.0, abs=1e-9)
+
+
+def test_rejects_negative_total():
+    with pytest.raises(ValueError):
+        norm_sub(np.array([1.0]), total=-1.0)
+
+
+def test_clip_to_zero_only_clips():
+    values = np.array([0.5, -0.2, 0.3])
+    result = clip_to_zero(values)
+    np.testing.assert_allclose(result, [0.5, 0.0, 0.3])
+    # The original array is untouched.
+    assert values[1] == -0.2

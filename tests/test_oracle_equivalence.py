@@ -1,0 +1,54 @@
+"""Statistical agreement between OLH's faithful and fast execution modes.
+
+The fast mode replaces the per-user hashing protocol by an aggregate
+binomial simulation; the two must agree in mean and, up to the ignored
+hash-collision correlation, in spread.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frequency_oracles import OptimizedLocalHash
+
+
+@pytest.mark.parametrize("epsilon", [0.5, 1.0, 2.0])
+def test_modes_agree_in_expectation(epsilon):
+    rng = np.random.default_rng(0)
+    values = rng.choice(6, size=3_000, p=[0.35, 0.25, 0.15, 0.1, 0.1, 0.05])
+    true = np.bincount(values, minlength=6) / values.size
+
+    def mean_estimate(mode: str) -> np.ndarray:
+        runs = []
+        for seed in range(8):
+            oracle = OptimizedLocalHash(epsilon, 6, rng=np.random.default_rng(seed),
+                                        mode=mode)
+            runs.append(oracle.estimate_frequencies(values))
+        return np.mean(runs, axis=0)
+
+    fast_mean = mean_estimate("fast")
+    user_mean = mean_estimate("user")
+    # Both modes are unbiased, so their averaged estimates should agree with
+    # the truth and with each other within a few standard errors
+    # (std of an 8-run mean is ~0.026 per value at epsilon = 0.5).
+    assert np.abs(fast_mean - true).max() < 0.1
+    assert np.abs(user_mean - true).max() < 0.1
+    assert np.abs(fast_mean - user_mean).max() < 0.12
+
+
+def test_modes_have_comparable_spread():
+    epsilon = 1.0
+    rng = np.random.default_rng(3)
+    values = rng.integers(0, 4, size=4_000)
+
+    def spread(mode: str) -> float:
+        estimates = []
+        for seed in range(12):
+            oracle = OptimizedLocalHash(epsilon, 4, rng=np.random.default_rng(seed),
+                                        mode=mode)
+            estimates.append(oracle.estimate_frequencies(values)[0])
+        return float(np.std(estimates))
+
+    fast_spread = spread("fast")
+    user_spread = spread("user")
+    # Same order of magnitude (factor-of-two agreement is plenty for 12 runs).
+    assert 0.4 < fast_spread / user_spread < 2.5

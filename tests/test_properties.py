@@ -1,0 +1,198 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Grid1D, Grid2D, nearest_power_of_two
+from repro.core.query_estimation import pair_constraint_indices
+from repro.datasets import Dataset
+from repro.estimation import Constraint, weighted_update
+from repro.postprocess import norm_sub
+from repro.protocol import partition_users
+from repro.queries import Predicate, RangeQuery, answer_query
+
+
+# ----------------------------------------------------------------------
+# Norm-Sub invariants
+# ----------------------------------------------------------------------
+@given(st.lists(st.floats(min_value=-5, max_value=5, allow_nan=False,
+                          allow_infinity=False), min_size=1, max_size=60))
+@settings(max_examples=80, deadline=None)
+def test_norm_sub_always_projects_to_simplex(values):
+    result = norm_sub(np.array(values))
+    assert (result >= -1e-9).all()
+    assert abs(result.sum() - 1.0) < 1e-6
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+                min_size=2, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_norm_sub_identity_on_valid_distributions(values):
+    array = np.array(values)
+    total = array.sum()
+    if total <= 0:
+        return
+    distribution = array / total
+    result = norm_sub(distribution)
+    np.testing.assert_allclose(result, distribution, atol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Grid geometry invariants
+# ----------------------------------------------------------------------
+@given(st.sampled_from([2, 4, 8, 16]), st.sampled_from([16, 32, 64]),
+       st.integers(min_value=0, max_value=63))
+@settings(max_examples=60, deadline=None)
+def test_grid1d_cell_contains_its_value(granularity, domain_size, value):
+    if value >= domain_size:
+        value = value % domain_size
+    grid = Grid1D(0, domain_size, granularity)
+    cell = int(grid.cell_index(value))
+    low, high = grid.cell_bounds(cell)
+    assert low <= value <= high
+
+
+@given(st.sampled_from([2, 4, 8]), st.sampled_from([16, 32]),
+       st.data())
+@settings(max_examples=60, deadline=None)
+def test_grid1d_range_answer_additive(granularity, domain_size, data):
+    grid = Grid1D(0, domain_size, granularity)
+    rng = np.random.default_rng(0)
+    frequencies = rng.random(granularity)
+    frequencies /= frequencies.sum()
+    grid.set_frequencies(frequencies)
+    split = data.draw(st.integers(min_value=0, max_value=domain_size - 2))
+    left = grid.answer_range(0, split)
+    right = grid.answer_range(split + 1, domain_size - 1)
+    # Disjoint adjacent ranges covering the domain sum to the total mass.
+    assert abs(left + right - 1.0) < 1e-9
+
+
+@given(st.sampled_from([2, 4, 8]), st.sampled_from([16, 32]), st.data())
+@settings(max_examples=40, deadline=None)
+def test_grid2d_full_domain_answer_is_total_mass(granularity, domain_size, data):
+    grid = Grid2D((0, 1), domain_size, granularity)
+    rng = np.random.default_rng(1)
+    frequencies = rng.random((granularity, granularity))
+    frequencies /= frequencies.sum()
+    grid.set_frequencies(frequencies)
+    answer = grid.answer_range((0, domain_size - 1), (0, domain_size - 1))
+    assert abs(answer - 1.0) < 1e-9
+
+
+@given(st.sampled_from([2, 4]), st.data())
+@settings(max_examples=40, deadline=None)
+def test_grid2d_monotone_in_query_size(granularity, data):
+    domain_size = 16
+    grid = Grid2D((0, 1), domain_size, granularity)
+    rng = np.random.default_rng(2)
+    frequencies = rng.random((granularity, granularity))
+    frequencies /= frequencies.sum()
+    grid.set_frequencies(frequencies)
+    high_a = data.draw(st.integers(min_value=0, max_value=domain_size - 2))
+    high_b = data.draw(st.integers(min_value=0, max_value=domain_size - 2))
+    small = grid.answer_range((0, high_a), (0, high_b))
+    large = grid.answer_range((0, high_a + 1), (0, high_b + 1))
+    assert large >= small - 1e-12
+
+
+# ----------------------------------------------------------------------
+# Range query / ground truth invariants
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=1, max_value=200), st.data())
+@settings(max_examples=40, deadline=None)
+def test_ground_truth_answer_in_unit_interval(n_users, data):
+    rng = np.random.default_rng(data.draw(st.integers(0, 1000)))
+    values = rng.integers(0, 8, size=(n_users, 3))
+    dataset = Dataset(values, 8)
+    low = data.draw(st.integers(min_value=0, max_value=7))
+    high = data.draw(st.integers(min_value=low, max_value=7))
+    query = RangeQuery((Predicate(0, low, high),))
+    answer = answer_query(dataset, query)
+    assert 0.0 <= answer <= 1.0
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_query_answer_monotone_in_interval(data):
+    rng = np.random.default_rng(3)
+    dataset = Dataset(rng.integers(0, 16, size=(500, 2)), 16)
+    low = data.draw(st.integers(min_value=0, max_value=14))
+    high = data.draw(st.integers(min_value=low, max_value=14))
+    narrow = RangeQuery((Predicate(0, low, high), Predicate(1, 0, 7)))
+    wide = RangeQuery((Predicate(0, low, high + 1), Predicate(1, 0, 7)))
+    assert answer_query(dataset, wide) >= answer_query(dataset, narrow)
+
+
+@given(st.integers(min_value=2, max_value=6), st.data())
+@settings(max_examples=30, deadline=None)
+def test_pairwise_subqueries_project_correctly(dimension, data):
+    intervals = {}
+    for attribute in range(dimension):
+        low = data.draw(st.integers(min_value=0, max_value=6))
+        high = data.draw(st.integers(min_value=low, max_value=7))
+        intervals[attribute] = (low, high)
+    query = RangeQuery.from_dict(intervals)
+    subqueries = query.pairwise_subqueries()
+    assert len(subqueries) == dimension * (dimension - 1) // 2
+    for sub in subqueries:
+        for attribute in sub.attributes:
+            assert sub.interval(attribute) == intervals[attribute]
+
+
+# ----------------------------------------------------------------------
+# Partitioning invariants
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=1, max_value=500),
+       st.integers(min_value=1, max_value=20), st.integers(0, 1000))
+@settings(max_examples=60, deadline=None)
+def test_partition_users_is_a_partition(n_users, n_groups, seed):
+    groups = partition_users(n_users, n_groups, np.random.default_rng(seed))
+    combined = np.concatenate(groups) if groups else np.array([])
+    assert len(combined) == n_users
+    assert len(np.unique(combined)) == n_users
+    sizes = [len(g) for g in groups]
+    assert max(sizes) - min(sizes) <= 1
+
+
+# ----------------------------------------------------------------------
+# Weighted update invariants
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=2, max_value=16), st.data())
+@settings(max_examples=40, deadline=None)
+def test_weighted_update_keeps_non_negative(size, data):
+    n_constraints = data.draw(st.integers(min_value=1, max_value=5))
+    rng = np.random.default_rng(data.draw(st.integers(0, 1000)))
+    constraints = []
+    for _ in range(n_constraints):
+        k = int(rng.integers(1, size + 1))
+        indices = rng.choice(size, size=k, replace=False)
+        constraints.append(Constraint(indices=indices,
+                                      target=float(rng.random())))
+    result = weighted_update(size, constraints, max_iterations=30)
+    assert (result.estimate >= 0).all()
+    assert np.isfinite(result.estimate).all()
+
+
+# ----------------------------------------------------------------------
+# Misc invariants
+# ----------------------------------------------------------------------
+@given(st.floats(min_value=0.01, max_value=10_000, allow_nan=False))
+@settings(max_examples=80, deadline=None)
+def test_nearest_power_of_two_really_is_a_power(value):
+    result = nearest_power_of_two(value, minimum=2, maximum=1024)
+    assert result & (result - 1) == 0
+    assert 2 <= result <= 1024
+
+
+@given(st.integers(min_value=2, max_value=8), st.data())
+@settings(max_examples=30, deadline=None)
+def test_pair_constraint_indices_size(dimension, data):
+    pos_a = data.draw(st.integers(min_value=0, max_value=dimension - 1))
+    pos_b = data.draw(st.integers(min_value=0, max_value=dimension - 1))
+    if pos_a == pos_b:
+        return
+    indices = pair_constraint_indices(dimension, pos_a, pos_b)
+    assert len(indices) == 2 ** (dimension - 2)
+    assert len(np.unique(indices)) == len(indices)

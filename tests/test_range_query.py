@@ -1,0 +1,90 @@
+"""Tests for the range-query model."""
+
+import pytest
+
+from repro.queries import Predicate, RangeQuery
+
+
+def test_predicate_basic():
+    predicate = Predicate(attribute=2, low=3, high=7)
+    assert predicate.width == 5
+    assert predicate.covers(3)
+    assert predicate.covers(7)
+    assert not predicate.covers(8)
+
+
+def test_predicate_validation():
+    with pytest.raises(ValueError):
+        Predicate(attribute=-1, low=0, high=1)
+    with pytest.raises(ValueError):
+        Predicate(attribute=0, low=5, high=2)
+    with pytest.raises(ValueError):
+        Predicate(attribute=0, low=-1, high=2)
+
+
+def test_query_dimension_and_attributes():
+    query = RangeQuery((Predicate(3, 0, 1), Predicate(1, 2, 5)))
+    assert query.dimension == 2
+    # Attributes come back sorted regardless of construction order.
+    assert query.attributes == (1, 3)
+    assert query.interval(1) == (2, 5)
+    assert query.interval(3) == (0, 1)
+
+
+def test_query_rejects_duplicate_attributes():
+    with pytest.raises(ValueError):
+        RangeQuery((Predicate(0, 0, 1), Predicate(0, 2, 3)))
+
+
+def test_query_rejects_empty():
+    with pytest.raises(ValueError):
+        RangeQuery(())
+
+
+def test_from_dict():
+    query = RangeQuery.from_dict({0: (1, 3), 2: (0, 7)})
+    assert query.dimension == 2
+    assert query.interval(2) == (0, 7)
+
+
+def test_interval_of_unrestricted_attribute_raises():
+    query = RangeQuery.from_dict({0: (1, 3)})
+    with pytest.raises(KeyError):
+        query.interval(5)
+
+
+def test_restrict_projects_predicates():
+    query = RangeQuery.from_dict({0: (1, 3), 1: (0, 7), 4: (2, 2)})
+    projected = query.restrict((0, 4))
+    assert projected.attributes == (0, 4)
+    assert projected.interval(4) == (2, 2)
+    with pytest.raises(KeyError):
+        query.restrict((0, 2))
+
+
+def test_pairwise_subqueries_count():
+    query = RangeQuery.from_dict({0: (0, 1), 1: (2, 3), 2: (4, 5), 3: (6, 7)})
+    subqueries = query.pairwise_subqueries()
+    assert len(subqueries) == 6  # C(4, 2)
+    pairs = {sub.attributes for sub in subqueries}
+    assert (0, 1) in pairs and (2, 3) in pairs
+
+
+def test_pairwise_subqueries_requires_two_dims():
+    query = RangeQuery.from_dict({0: (0, 1)})
+    with pytest.raises(ValueError):
+        query.pairwise_subqueries()
+
+
+def test_volume():
+    query = RangeQuery.from_dict({0: (0, 7), 1: (0, 3)})
+    assert query.volume(16) == pytest.approx((8 / 16) * (4 / 16))
+    full = RangeQuery.from_dict({0: (0, 15)})
+    assert full.volume(16) == pytest.approx(1.0)
+
+
+def test_queries_are_hashable_and_comparable():
+    q1 = RangeQuery.from_dict({0: (1, 3), 1: (0, 7)})
+    q2 = RangeQuery.from_dict({1: (0, 7), 0: (1, 3)})
+    assert q1 == q2
+    assert hash(q1) == hash(q2)

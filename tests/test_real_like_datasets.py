@@ -1,0 +1,72 @@
+"""Tests for the synthetic stand-ins for the paper's real datasets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (generate_acs_like, generate_bfive_like,
+                            generate_ipums_like, generate_loan_like)
+
+GENERATORS = [generate_ipums_like, generate_bfive_like, generate_loan_like,
+              generate_acs_like]
+
+
+@pytest.mark.parametrize("generator", GENERATORS)
+def test_shape_and_domain(generator):
+    dataset = generator(5_000, n_attributes=5, domain_size=32,
+                        rng=np.random.default_rng(0))
+    assert dataset.n_users == 5_000
+    assert dataset.n_attributes == 5
+    assert dataset.domain_size == 32
+    assert dataset.values.min() >= 0
+    assert dataset.values.max() < 32
+
+
+@pytest.mark.parametrize("generator", GENERATORS)
+def test_marginals_are_skewed(generator):
+    dataset = generator(30_000, n_attributes=4, domain_size=64,
+                        rng=np.random.default_rng(1))
+    marginal = dataset.marginal(0)
+    # None of the stand-ins should be uniform: the most likely bucket must
+    # carry clearly more than the uniform share.
+    assert marginal.max() > 2.0 / 64
+
+
+def _mean_pairwise_correlation(dataset) -> float:
+    corr = np.corrcoef(dataset.values.T)
+    d = dataset.n_attributes
+    off_diagonal = corr[np.triu_indices(d, k=1)]
+    return float(np.mean(off_diagonal))
+
+
+def test_ipums_more_correlated_than_bfive():
+    ipums = generate_ipums_like(30_000, n_attributes=5, domain_size=64,
+                                rng=np.random.default_rng(2))
+    bfive = generate_bfive_like(30_000, n_attributes=5, domain_size=64,
+                                rng=np.random.default_rng(2))
+    assert _mean_pairwise_correlation(ipums) > _mean_pairwise_correlation(bfive) + 0.15
+
+
+def test_bfive_correlation_is_weak():
+    bfive = generate_bfive_like(30_000, n_attributes=6, domain_size=64,
+                                rng=np.random.default_rng(3))
+    assert _mean_pairwise_correlation(bfive) < 0.3
+
+
+def test_acs_strongly_correlated():
+    acs = generate_acs_like(30_000, n_attributes=5, domain_size=64,
+                            rng=np.random.default_rng(4))
+    assert _mean_pairwise_correlation(acs) > 0.35
+
+
+def test_supports_many_attributes():
+    loan = generate_loan_like(2_000, n_attributes=10, domain_size=16,
+                              rng=np.random.default_rng(5))
+    assert loan.n_attributes == 10
+
+
+def test_reproducible_with_seed():
+    first = generate_ipums_like(1_000, n_attributes=3, domain_size=16,
+                                rng=np.random.default_rng(42))
+    second = generate_ipums_like(1_000, n_attributes=3, domain_size=16,
+                                 rng=np.random.default_rng(42))
+    np.testing.assert_array_equal(first.values, second.values)

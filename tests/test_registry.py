@@ -1,0 +1,40 @@
+"""Tests for the named dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import available_datasets, make_dataset
+
+
+def test_all_paper_datasets_available():
+    names = available_datasets()
+    for expected in ("ipums", "bfive", "loan", "acs", "normal", "laplace"):
+        assert expected in names
+
+
+def test_make_dataset_by_name():
+    dataset = make_dataset("normal", 2_000, 3, 16, rng=np.random.default_rng(0))
+    assert dataset.n_users == 2_000
+    assert dataset.n_attributes == 3
+    assert dataset.domain_size == 16
+
+
+def test_make_dataset_forwards_kwargs():
+    independent = make_dataset("normal", 20_000, 2, 32,
+                               rng=np.random.default_rng(0), covariance=0.0)
+    correlated = make_dataset("normal", 20_000, 2, 32,
+                              rng=np.random.default_rng(0), covariance=0.9)
+    corr_ind = np.corrcoef(independent.values[:, 0], independent.values[:, 1])[0, 1]
+    corr_dep = np.corrcoef(correlated.values[:, 0], correlated.values[:, 1])[0, 1]
+    assert corr_dep > corr_ind + 0.5
+
+
+def test_unknown_name_raises():
+    with pytest.raises(ValueError, match="unknown dataset"):
+        make_dataset("does_not_exist", 100, 2, 8)
+
+
+def test_uniform_registry_entry():
+    dataset = make_dataset("uniform", 5_000, 2, 8, rng=np.random.default_rng(1))
+    marginal = dataset.marginal(0)
+    assert np.abs(marginal - 1 / 8).max() < 0.03

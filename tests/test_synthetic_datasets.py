@@ -1,0 +1,85 @@
+"""Tests for the synthetic Normal / Laplace / uniform dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (discretize, generate_laplace, generate_normal,
+                            generate_uniform)
+
+
+def test_normal_basic_shape(rng):
+    dataset = generate_normal(5_000, 4, 32, covariance=0.8, rng=rng)
+    assert dataset.n_users == 5_000
+    assert dataset.n_attributes == 4
+    assert dataset.domain_size == 32
+    assert dataset.values.min() >= 0
+    assert dataset.values.max() < 32
+
+
+def test_normal_marginal_is_centered(rng):
+    dataset = generate_normal(50_000, 2, 64, covariance=0.5, rng=rng)
+    marginal = dataset.marginal(0)
+    centre_mass = marginal[24:40].sum()
+    # A standard normal clipped at 3 sigma puts most mass near the middle bins.
+    assert centre_mass > 0.5
+
+
+def test_normal_covariance_controls_correlation(rng):
+    strong = generate_normal(30_000, 2, 64, covariance=0.9,
+                             rng=np.random.default_rng(0))
+    weak = generate_normal(30_000, 2, 64, covariance=0.0,
+                           rng=np.random.default_rng(0))
+    corr_strong = np.corrcoef(strong.values[:, 0], strong.values[:, 1])[0, 1]
+    corr_weak = np.corrcoef(weak.values[:, 0], weak.values[:, 1])[0, 1]
+    assert corr_strong > 0.7
+    assert abs(corr_weak) < 0.1
+
+
+def test_laplace_heavier_tails_than_normal():
+    normal = generate_normal(50_000, 1, 64, covariance=0.0,
+                             rng=np.random.default_rng(1))
+    laplace = generate_laplace(50_000, 1, 64, covariance=0.0,
+                               rng=np.random.default_rng(1))
+    # The Laplace marginal concentrates more mass in the central bins
+    # (spike) than the normal does.
+    centre = slice(28, 36)
+    assert laplace.marginal(0)[centre].sum() > normal.marginal(0)[centre].sum()
+
+
+def test_laplace_preserves_correlation(rng):
+    dataset = generate_laplace(30_000, 3, 32, covariance=0.8, rng=rng)
+    corr = np.corrcoef(dataset.values[:, 0], dataset.values[:, 1])[0, 1]
+    assert corr > 0.5
+
+
+def test_uniform_is_flat(rng):
+    dataset = generate_uniform(50_000, 2, 16, rng=rng)
+    marginal = dataset.marginal(0)
+    assert np.abs(marginal - 1 / 16).max() < 0.01
+
+
+def test_discretize_bounds():
+    values = np.array([-10.0, -3.0, 0.0, 3.0, 10.0])
+    binned = discretize(values, 8)
+    assert binned.min() >= 0
+    assert binned.max() <= 7
+    assert binned[0] == 0
+    assert binned[-1] == 7
+
+
+def test_discretize_monotone():
+    values = np.linspace(-3, 3, 100)
+    binned = discretize(values, 16)
+    assert (np.diff(binned) >= 0).all()
+
+
+def test_invalid_covariance_rejected():
+    with pytest.raises(ValueError):
+        generate_normal(100, 2, 8, covariance=1.5)
+    with pytest.raises(ValueError):
+        generate_laplace(100, 2, 8, covariance=-0.1)
+
+
+def test_invalid_domain_rejected():
+    with pytest.raises(ValueError):
+        discretize(np.zeros(10), 1)

@@ -1,0 +1,89 @@
+"""Tests for the Weighted Update estimation engine."""
+
+import numpy as np
+import pytest
+
+from repro.estimation import Constraint, weighted_update
+
+
+def test_single_constraint_is_satisfied_exactly():
+    constraint = Constraint(indices=np.array([0, 1]), target=0.6)
+    result = weighted_update(4, [constraint])
+    assert result.estimate[[0, 1]].sum() == pytest.approx(0.6)
+    assert result.converged
+
+
+def test_marginal_constraints_reconstruct_product_distribution():
+    # A 2x2 joint distribution constrained by its two marginals; weighted
+    # update starting from uniform converges to the independent coupling.
+    # Variables indexed as 2*a + b.
+    row0 = Constraint(indices=np.array([0, 1]), target=0.3)
+    row1 = Constraint(indices=np.array([2, 3]), target=0.7)
+    col0 = Constraint(indices=np.array([0, 2]), target=0.4)
+    col1 = Constraint(indices=np.array([1, 3]), target=0.6)
+    result = weighted_update(4, [row0, row1, col0, col1], max_iterations=500)
+    expected = np.array([0.3 * 0.4, 0.3 * 0.6, 0.7 * 0.4, 0.7 * 0.6])
+    np.testing.assert_allclose(result.estimate, expected, atol=1e-4)
+
+
+def test_convergence_flag_and_iteration_count():
+    constraint = Constraint(indices=np.array([0]), target=0.5)
+    result = weighted_update(2, [constraint], threshold=1e-12,
+                             max_iterations=50)
+    assert result.converged
+    assert result.iterations <= 50
+
+
+def test_non_convergence_when_iterations_exhausted():
+    # An unattainable threshold exhausts the iteration budget.
+    constraints = [Constraint(indices=np.array([0, 1]), target=0.5),
+                   Constraint(indices=np.array([1, 2]), target=0.4)]
+    result = weighted_update(3, constraints, threshold=-1.0, max_iterations=3)
+    assert not result.converged
+    assert result.iterations == 3
+
+
+def test_history_tracking():
+    constraints = [Constraint(indices=np.array([0, 1]), target=0.5),
+                   Constraint(indices=np.array([1, 2]), target=0.5)]
+    result = weighted_update(3, constraints, track_history=True,
+                             max_iterations=20)
+    assert len(result.change_history) == result.iterations
+    # Change should shrink over sweeps.
+    assert result.change_history[-1] <= result.change_history[0] + 1e-12
+
+
+def test_zero_target_zeroes_entries():
+    constraints = [Constraint(indices=np.array([0, 1]), target=0.0),
+                   Constraint(indices=np.array([2, 3]), target=1.0)]
+    result = weighted_update(4, constraints)
+    assert result.estimate[0] == pytest.approx(0.0, abs=1e-12)
+    assert result.estimate[2:].sum() == pytest.approx(1.0)
+
+
+def test_initial_vector_respected():
+    constraint = Constraint(indices=np.array([0, 1, 2, 3]), target=1.0)
+    skewed = np.array([0.7, 0.1, 0.1, 0.1])
+    result = weighted_update(4, [constraint], initial=skewed)
+    # The constraint is already satisfied, so the skew is preserved.
+    np.testing.assert_allclose(result.estimate, skewed)
+
+
+def test_estimate_stays_non_negative():
+    rng = np.random.default_rng(0)
+    constraints = [Constraint(indices=rng.choice(8, size=3, replace=False),
+                              target=float(rng.random())) for _ in range(6)]
+    result = weighted_update(8, constraints, max_iterations=50)
+    assert (result.estimate >= 0).all()
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ValueError):
+        weighted_update(0, [Constraint(indices=np.array([0]), target=0.1)])
+    with pytest.raises(ValueError):
+        weighted_update(4, [])
+    with pytest.raises(ValueError):
+        Constraint(indices=np.array([]), target=0.5)
+    with pytest.raises(ValueError):
+        weighted_update(4, [Constraint(indices=np.array([0]), target=0.5)],
+                        initial=np.zeros(3))

@@ -1,0 +1,90 @@
+"""Tests for the query-workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_uniform
+from repro.queries import WorkloadGenerator, answer_workload
+
+
+@pytest.fixture
+def generator():
+    return WorkloadGenerator(5, 32, rng=np.random.default_rng(0))
+
+
+def test_interval_width(generator):
+    assert generator.interval_width(0.5) == 16
+    assert generator.interval_width(1.0) == 32
+    assert generator.interval_width(0.01) == 1
+
+
+def test_random_query_shape(generator):
+    query = generator.random_query(3, 0.5)
+    assert query.dimension == 3
+    for attribute in query.attributes:
+        low, high = query.interval(attribute)
+        assert high - low + 1 == 16
+        assert 0 <= low <= high < 32
+
+
+def test_random_workload_size_and_dimension(generator):
+    workload = generator.random_workload(50, 2, 0.25)
+    assert len(workload) == 50
+    assert all(query.dimension == 2 for query in workload)
+
+
+def test_random_workload_uses_distinct_attributes(generator):
+    for query in generator.random_workload(30, 4, 0.5):
+        assert len(set(query.attributes)) == 4
+
+
+def test_invalid_parameters(generator):
+    with pytest.raises(ValueError):
+        generator.random_query(0, 0.5)
+    with pytest.raises(ValueError):
+        generator.random_query(6, 0.5)
+    with pytest.raises(ValueError):
+        generator.random_query(2, 0.0)
+    with pytest.raises(ValueError):
+        generator.random_workload(0, 2, 0.5)
+
+
+def test_full_marginal_workload_counts():
+    generator = WorkloadGenerator(3, 4, rng=np.random.default_rng(1))
+    workload = generator.full_marginal_workload()
+    # C(3,2) pairs x 4^2 cells.
+    assert len(workload) == 3 * 16
+    assert all(query.dimension == 2 for query in workload)
+    assert all(query.volume(4) == pytest.approx(1 / 16) for query in workload)
+
+
+def test_full_2d_range_workload_counts():
+    generator = WorkloadGenerator(3, 8, rng=np.random.default_rng(1))
+    workload = generator.full_2d_range_workload(0.5)
+    # width 4 -> 5 starting positions per axis, per pair.
+    assert len(workload) == 3 * 5 * 5
+    widths = {query.interval(query.attributes[0])[1]
+              - query.interval(query.attributes[0])[0] + 1 for query in workload}
+    assert widths == {4}
+
+
+def test_count_conditioned_workloads():
+    rng = np.random.default_rng(2)
+    dataset = generate_uniform(5_000, 4, 16, rng=rng)
+    generator = WorkloadGenerator(4, 16, rng=np.random.default_rng(3))
+    non_zero = generator.count_conditioned_workload(dataset, 10, 3, 0.7,
+                                                    zero_count=False)
+    answers = answer_workload(dataset, non_zero)
+    assert len(non_zero) == 10
+    assert (answers > 0).all()
+    zero = generator.count_conditioned_workload(dataset, 5, 4, 0.1,
+                                                zero_count=True,
+                                                max_attempts=50)
+    if zero:  # zero-count queries may be rare on uniform data
+        assert (answer_workload(dataset, zero) == 0).all()
+
+
+def test_reproducible_with_seed():
+    first = WorkloadGenerator(4, 16, rng=np.random.default_rng(9)).random_workload(5, 2, 0.5)
+    second = WorkloadGenerator(4, 16, rng=np.random.default_rng(9)).random_workload(5, 2, 0.5)
+    assert first == second
