@@ -6,7 +6,9 @@ mechanisms with the granularity guideline — together with every substrate
 and baseline its evaluation depends on: LDP frequency oracles (GRR, OLH,
 Square Wave), the Uni/MSW/CALM/HIO/LHIO baselines, dataset generators,
 query workloads, post-processing, metrics and a per-figure experiment
-harness.
+harness.  Collection is shard-mergeable: mechanisms support
+``partial_fit`` / ``merge`` / ``finalize`` and the :mod:`repro.pipeline`
+package streams, parallelises and serializes the per-shard state.
 
 Quickstart
 ----------
@@ -26,11 +28,12 @@ from .core import (HDG, IHDG, ITDG, TDG, Grid1D, Grid2D, RangeQueryMechanism,
 from .datasets import Dataset, available_datasets, make_dataset
 from .experiments import ExperimentConfig, build_mechanism, run_experiment, sweep_parameter
 from .frequency_oracles import (GeneralizedRandomizedResponse, OptimizedLocalHash,
-                                SquareWave)
+                                SquareWave, SupportAccumulator)
 from .metrics import absolute_errors, mean_absolute_error
+from .pipeline import ShardAggregator, parallel_fit, shard_dataset
 from .queries import Predicate, RangeQuery, WorkloadGenerator, answer_query, answer_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CALM",
@@ -49,7 +52,9 @@ __all__ = [
     "Predicate",
     "RangeQuery",
     "RangeQueryMechanism",
+    "ShardAggregator",
     "SquareWave",
+    "SupportAccumulator",
     "TDG",
     "Uniform",
     "WorkloadGenerator",
@@ -65,6 +70,8 @@ __all__ = [
     "estimate_lambda_query",
     "make_dataset",
     "mean_absolute_error",
+    "parallel_fit",
     "run_experiment",
+    "shard_dataset",
     "sweep_parameter",
 ]

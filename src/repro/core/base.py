@@ -5,6 +5,21 @@ TDG, HDG and all baselines (Uni, MSW, CALM, HIO, LHIO) implement
 protocol over a dataset, ``answer`` / ``answer_workload`` then answer
 arbitrarily many range queries from the collected (already private)
 summaries without touching raw data again.
+
+Mechanisms whose collection step is aggregation-based (TDG, HDG) also
+support an incremental, shard-mergeable protocol:
+
+* :meth:`RangeQueryMechanism.partial_fit` ingests one batch of user
+  reports, maintaining additive per-grid support counts;
+* :meth:`RangeQueryMechanism.merge` combines the accumulated state of
+  independent shards (exactly — support counts simply add);
+* :meth:`RangeQueryMechanism.finalize` runs the one-shot pipeline's
+  Phase-2 consistency/estimation machinery on the merged counts.
+
+``fit(data)`` is a thin wrapper equivalent to
+``partial_fit(data); finalize()``.  Mechanisms that only implement the
+one-shot protocol raise :class:`NotImplementedError` from the sharded
+entry points and report ``supports_sharding == False``.
 """
 
 from __future__ import annotations
@@ -56,6 +71,100 @@ class RangeQueryMechanism(abc.ABC):
     @abc.abstractmethod
     def _fit(self, dataset: Dataset) -> None:
         """Mechanism-specific collection logic."""
+
+    # ------------------------------------------------------------------
+    # Sharded collection (incremental aggregation pipeline)
+    # ------------------------------------------------------------------
+    def partial_fit(self, dataset: Dataset,
+                    total_users: int | None = None) -> "RangeQueryMechanism":
+        """Ingest one batch (shard) of user reports without finalising.
+
+        Parameters
+        ----------
+        dataset:
+            The batch of user records to collect under ε-LDP.
+        total_users:
+            Expected total population across *all* shards.  Used on the
+            first batch to derive guideline granularities; shards merged
+            later must agree on the granularity, so pass the same value to
+            every shard (or fix the granularity explicitly).  Defaults to
+            the first batch's size.
+        """
+        if self._fitted:
+            raise RuntimeError(
+                f"{type(self).__name__} is already finalised; create a fresh "
+                "instance to collect new shards")
+        if self._n_attributes is None:
+            self._n_attributes = dataset.n_attributes
+            self._domain_size = dataset.domain_size
+        elif (dataset.n_attributes != self._n_attributes
+              or dataset.domain_size != self._domain_size):
+            raise ValueError(
+                f"batch shape (d={dataset.n_attributes}, c={dataset.domain_size}) "
+                f"does not match earlier batches (d={self._n_attributes}, "
+                f"c={self._domain_size})")
+        self._partial_fit(dataset, total_users)
+        return self
+
+    def merge(self, other: "RangeQueryMechanism") -> "RangeQueryMechanism":
+        """Fold another shard's accumulated state into this one (exactly).
+
+        Both sides must be un-finalised instances of the same mechanism
+        with the same privacy budget, collected over the same schema.
+        Support counts are summed, so the merged state is identical to
+        having collected both shards' batches into a single instance.
+        """
+        if type(other) is not type(self):
+            raise TypeError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}")
+        if self._fitted or other._fitted:
+            raise RuntimeError("merge must happen before finalize()")
+        if other.epsilon != self.epsilon:
+            raise ValueError(
+                f"cannot merge shards with different privacy budgets "
+                f"({self.epsilon} vs {other.epsilon})")
+        if other._n_attributes is None:
+            return self  # the other shard never collected anything
+        if self._n_attributes is None:
+            self._n_attributes = other._n_attributes
+            self._domain_size = other._domain_size
+        elif (other._n_attributes != self._n_attributes
+              or other._domain_size != self._domain_size):
+            raise ValueError(
+                f"cannot merge shards over different schemas "
+                f"(d={self._n_attributes}, c={self._domain_size}) vs "
+                f"(d={other._n_attributes}, c={other._domain_size})")
+        self._merge(other)
+        return self
+
+    def finalize(self) -> "RangeQueryMechanism":
+        """Run post-processing/estimation on the merged state; enable answering."""
+        if self._fitted:
+            raise RuntimeError(f"{type(self).__name__} is already finalised")
+        if self._n_attributes is None:
+            raise RuntimeError(
+                "no batches ingested; call partial_fit at least once before "
+                "finalize")
+        self._finalize()
+        self._fitted = True
+        return self
+
+    def _partial_fit(self, dataset: Dataset, total_users: int | None) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support sharded aggregation")
+
+    def _merge(self, other: "RangeQueryMechanism") -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support sharded aggregation")
+
+    def _finalize(self) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support sharded aggregation")
+
+    @property
+    def supports_sharding(self) -> bool:
+        """Whether partial_fit/merge/finalize are implemented."""
+        return type(self)._partial_fit is not RangeQueryMechanism._partial_fit
 
     # ------------------------------------------------------------------
     # Query answering

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..frequency_oracles import FrequencyOracle
+from ..frequency_oracles import FrequencyOracle, SupportAccumulator
 
 
 def _check_divisible(domain_size: int, granularity: int) -> int:
@@ -73,6 +73,32 @@ class Grid1D:
                 f"granularity {self.granularity}")
         cells = self.cell_index(values)
         self.frequencies = oracle.estimate_frequencies(cells)
+
+    def accumulate(self, values: np.ndarray,
+                   oracle: FrequencyOracle) -> SupportAccumulator:
+        """Collect one user batch into an additive support accumulator.
+
+        The returned accumulator can be merged with accumulators of other
+        batches of this grid (from any shard) and turned into cell
+        frequencies once at the end with :meth:`finalize_from`.
+        """
+        if oracle.domain_size != self.granularity:
+            raise ValueError(
+                f"oracle domain {oracle.domain_size} does not match grid "
+                f"granularity {self.granularity}")
+        return oracle.accumulate(self.cell_index(values))
+
+    def finalize_from(self, accumulator: SupportAccumulator | None,
+                      oracle: FrequencyOracle) -> None:
+        """Set cell frequencies from merged support counts.
+
+        An empty accumulator (``None`` or zero reports) leaves the grid
+        all-zero, matching the one-shot behaviour for empty user groups.
+        """
+        if accumulator is None or accumulator.n_reports == 0:
+            self.frequencies = np.zeros(self.granularity)
+            return
+        self.frequencies = oracle.estimate_from_accumulator(accumulator)
 
     def set_frequencies(self, frequencies: np.ndarray) -> None:
         """Directly set cell frequencies (used by tests and post-processing)."""
@@ -154,6 +180,25 @@ class Grid2D:
                 f"count {n_cells}")
         cells = self.cell_index(values_pair)
         flat = oracle.estimate_frequencies(cells)
+        self.frequencies = flat.reshape(self.granularity, self.granularity)
+
+    def accumulate(self, values_pair: np.ndarray,
+                   oracle: FrequencyOracle) -> SupportAccumulator:
+        """Collect one user batch into an additive support accumulator."""
+        n_cells = self.granularity * self.granularity
+        if oracle.domain_size != n_cells:
+            raise ValueError(
+                f"oracle domain {oracle.domain_size} does not match grid cell "
+                f"count {n_cells}")
+        return oracle.accumulate(self.cell_index(values_pair))
+
+    def finalize_from(self, accumulator: SupportAccumulator | None,
+                      oracle: FrequencyOracle) -> None:
+        """Set cell frequencies from merged support counts (see Grid1D)."""
+        if accumulator is None or accumulator.n_reports == 0:
+            self.frequencies = np.zeros((self.granularity, self.granularity))
+            return
+        flat = oracle.estimate_from_accumulator(accumulator)
         self.frequencies = flat.reshape(self.granularity, self.granularity)
 
     def set_frequencies(self, frequencies: np.ndarray) -> None:

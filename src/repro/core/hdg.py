@@ -25,7 +25,7 @@ from itertools import combinations
 import numpy as np
 
 from ..datasets import Dataset
-from ..frequency_oracles import OptimizedLocalHash
+from ..frequency_oracles import OptimizedLocalHash, SupportAccumulator
 from ..protocol import partition_users, partition_users_weighted
 from ..queries import RangeQuery
 from .base import RangeQueryMechanism
@@ -88,6 +88,8 @@ class HDG(RangeQueryMechanism):
         self.granularities = granularities
         self.alpha1 = float(alpha1)
         self.alpha2 = float(alpha2)
+        if sigma is not None and not 0.0 < sigma < 1.0:
+            raise ValueError(f"sigma must be in (0, 1), got {sigma}")
         self.sigma = sigma
         self.postprocess = bool(postprocess)
         self.consistency_rounds = int(consistency_rounds)
@@ -102,61 +104,141 @@ class HDG(RangeQueryMechanism):
         self.matrix_iteration_history: dict[tuple[int, int], list[float]] = {}
         self.chosen_g1: int | None = None
         self.chosen_g2: int | None = None
+        self._acc_1d: dict[int, SupportAccumulator | None] = {}
+        self._acc_2d: dict[tuple[int, int], SupportAccumulator | None] = {}
+        self._total_reports = 0
 
     # ------------------------------------------------------------------
     # Phase 1 + 2: collection and post-processing
     # ------------------------------------------------------------------
     def _fit(self, dataset: Dataset) -> None:
+        self._reset_aggregation()
+        self._partial_fit(dataset, total_users=None)
+        self._finalize()
+
+    def _reset_aggregation(self) -> None:
+        self.grids_1d = {}
+        self.grids_2d = {}
+        self.response_matrices = {}
+        self.matrix_iteration_history = {}
+        self.chosen_g1 = None
+        self.chosen_g2 = None
+        self._acc_1d = {}
+        self._acc_2d = {}
+        self._total_reports = 0
+
+    def _partial_fit(self, dataset: Dataset, total_users: int | None) -> None:
         d = dataset.n_attributes
         if d < 2:
             raise ValueError("HDG requires at least 2 attributes")
         c = dataset.domain_size
         pairs = list(combinations(range(d), 2))
 
-        choice = choose_granularities_hdg(self.epsilon, dataset.n_users, d, c,
-                                          alpha1=self.alpha1, alpha2=self.alpha2,
-                                          sigma=self.sigma)
-        if self.granularities is not None:
-            g1, g2 = int(self.granularities[0]), int(self.granularities[1])
-            if g1 < g2:
-                raise ValueError(
-                    f"g1 ({g1}) must be at least g2 ({g2}) so the consistency "
-                    "buckets align")
-        else:
-            g1, g2 = choice.g1, choice.g2
-        self.chosen_g1, self.chosen_g2 = g1, g2
+        if self.chosen_g1 is None:
+            if self.granularities is not None:
+                g1, g2 = int(self.granularities[0]), int(self.granularities[1])
+                if g1 < g2:
+                    raise ValueError(
+                        f"g1 ({g1}) must be at least g2 ({g2}) so the consistency "
+                        "buckets align")
+            else:
+                planning = choose_granularities_hdg(
+                    self.epsilon, total_users or dataset.n_users, d, c,
+                    alpha1=self.alpha1, alpha2=self.alpha2, sigma=self.sigma)
+                g1, g2 = planning.g1, planning.g2
+            self.chosen_g1, self.chosen_g2 = g1, g2
+            self.grids_1d = {attribute: Grid1D(attribute, c, g1)
+                             for attribute in range(d)}
+            self.grids_2d = {pair: Grid2D(pair, c, g2) for pair in pairs}
+            self._acc_1d = {attribute: None for attribute in range(d)}
+            self._acc_2d = {pair: None for pair in pairs}
+        g1, g2 = self.chosen_g1, self.chosen_g2
 
-        # Split the population between 1-D and 2-D duties, then into groups.
-        block_1d, block_2d = self._population_blocks(dataset.n_users, choice)
+        # Split this batch's population between 1-D and 2-D duties (the σ
+        # split applies per shard), then into per-grid groups.
+        n1, n2 = self._batch_split(dataset.n_users, d)
+        block_1d, block_2d = self._population_blocks(dataset.n_users, n1, n2)
         groups_1d = partition_users(max(block_1d.size, 1), d, self.rng)
         groups_2d = partition_users(max(block_2d.size, 1), len(pairs), self.rng)
 
-        self.grids_1d = {}
         for attribute, group in zip(range(d), groups_1d):
-            grid = Grid1D(attribute, c, g1)
             members = block_1d[group] if block_1d.size else np.array([], dtype=int)
             if members.size > 0:
                 oracle = OptimizedLocalHash(self.epsilon, g1, rng=self.rng,
                                             mode=self.oracle_mode)
-                grid.collect(dataset.column(attribute)[members], oracle)
-            self.grids_1d[attribute] = grid
+                batch = self.grids_1d[attribute].accumulate(
+                    dataset.column(attribute)[members], oracle)
+                if self._acc_1d[attribute] is None:
+                    self._acc_1d[attribute] = batch
+                else:
+                    self._acc_1d[attribute].merge(batch)
 
-        self.grids_2d = {}
         for pair, group in zip(pairs, groups_2d):
-            grid = Grid2D(pair, c, g2)
             members = block_2d[group] if block_2d.size else np.array([], dtype=int)
             if members.size > 0:
                 oracle = OptimizedLocalHash(self.epsilon, g2 * g2, rng=self.rng,
                                             mode=self.oracle_mode)
-                grid.collect(dataset.columns(pair)[members], oracle)
-            self.grids_2d[pair] = grid
+                batch = self.grids_2d[pair].accumulate(
+                    dataset.columns(pair)[members], oracle)
+                if self._acc_2d[pair] is None:
+                    self._acc_2d[pair] = batch
+                else:
+                    self._acc_2d[pair].merge(batch)
+        self._total_reports += dataset.n_users
+
+    def _merge(self, other: "HDG") -> None:
+        if other.chosen_g1 is None:
+            return
+        if self.chosen_g1 is None:
+            self.chosen_g1, self.chosen_g2 = other.chosen_g1, other.chosen_g2
+            c = self._domain_size
+            self.grids_1d = {attribute: Grid1D(attribute, c, other.chosen_g1)
+                             for attribute in other.grids_1d}
+            self.grids_2d = {pair: Grid2D(pair, c, other.chosen_g2)
+                             for pair in other.grids_2d}
+            self._acc_1d = {attribute: None for attribute in other.grids_1d}
+            self._acc_2d = {pair: None for pair in other.grids_2d}
+        elif (self.chosen_g1, self.chosen_g2) != (other.chosen_g1, other.chosen_g2):
+            raise ValueError(
+                f"shards disagree on granularities (g1={self.chosen_g1}, "
+                f"g2={self.chosen_g2}) vs (g1={other.chosen_g1}, "
+                f"g2={other.chosen_g2}); pass the same total_users or explicit "
+                "granularities to every shard")
+        for attribute, accumulator in other._acc_1d.items():
+            if accumulator is None:
+                continue
+            if self._acc_1d[attribute] is None:
+                self._acc_1d[attribute] = accumulator.copy()
+            else:
+                self._acc_1d[attribute].merge(accumulator)
+        for pair, accumulator in other._acc_2d.items():
+            if accumulator is None:
+                continue
+            if self._acc_2d[pair] is None:
+                self._acc_2d[pair] = accumulator.copy()
+            else:
+                self._acc_2d[pair].merge(accumulator)
+        self._total_reports += other._total_reports
+
+    def _finalize(self) -> None:
+        g1, g2 = self.chosen_g1, self.chosen_g2
+        c = self._domain_size
+        for attribute, grid in self.grids_1d.items():
+            oracle = OptimizedLocalHash(self.epsilon, g1, rng=self.rng,
+                                        mode=self.oracle_mode)
+            grid.finalize_from(self._acc_1d[attribute], oracle)
+        for pair, grid in self.grids_2d.items():
+            oracle = OptimizedLocalHash(self.epsilon, g2 * g2, rng=self.rng,
+                                        mode=self.oracle_mode)
+            grid.finalize_from(self._acc_2d[pair], oracle)
 
         if self.postprocess:
-            run_phase2(d, self.grids_1d, self.grids_2d, n_buckets=g2,
-                       rounds=self.consistency_rounds)
+            run_phase2(self._n_attributes, self.grids_1d, self.grids_2d,
+                       n_buckets=g2, rounds=self.consistency_rounds)
 
         # Build all response matrices up front (they are reused by every query).
-        threshold = min(self.convergence_threshold, 1.0 / dataset.n_users)
+        threshold = min(self.convergence_threshold,
+                        1.0 / max(self._total_reports, 1))
         self.response_matrices = {}
         self.matrix_iteration_history = {}
         for pair, grid in self.grids_2d.items():
@@ -168,12 +250,84 @@ class HDG(RangeQueryMechanism):
             self.response_matrices[pair] = result.matrix
             self.matrix_iteration_history[pair] = result.change_history
 
-    def _population_blocks(self, n_users: int, choice) -> tuple[np.ndarray, np.ndarray]:
+    # ------------------------------------------------------------------
+    # Shard-state serialization (see docs/architecture.md for the schema)
+    # ------------------------------------------------------------------
+    def shard_state(self) -> dict:
+        """Portable snapshot of the un-finalised accumulator state."""
+        if self.chosen_g1 is None:
+            raise RuntimeError("no batches ingested; nothing to serialize")
+        return {
+            "mechanism": self.name,
+            "epsilon": self.epsilon,
+            "n_attributes": self._n_attributes,
+            "domain_size": self._domain_size,
+            "granularity": {"g1": self.chosen_g1, "g2": self.chosen_g2},
+            "total_reports": self._total_reports,
+            "accumulators": {
+                "1d": {str(attribute): (acc.to_dict() if acc is not None else None)
+                       for attribute, acc in self._acc_1d.items()},
+                "2d": {f"{a},{b}": (acc.to_dict() if acc is not None else None)
+                       for (a, b), acc in self._acc_2d.items()},
+            },
+        }
+
+    def load_shard_state(self, state: dict) -> "HDG":
+        """Restore accumulator state produced by :meth:`shard_state`."""
+        if self.chosen_g1 is not None or self._fitted:
+            raise RuntimeError("shard state can only be loaded into a fresh "
+                               "mechanism instance")
+        if state["mechanism"] != self.name:
+            raise ValueError(f"state belongs to {state['mechanism']!r}, "
+                             f"not {self.name!r}")
+        if float(state["epsilon"]) != self.epsilon:
+            raise ValueError("state was collected under a different epsilon")
+        self._n_attributes = int(state["n_attributes"])
+        self._domain_size = int(state["domain_size"])
+        self.chosen_g1 = int(state["granularity"]["g1"])
+        self.chosen_g2 = int(state["granularity"]["g2"])
+        self._total_reports = int(state["total_reports"])
+        d, c = self._n_attributes, self._domain_size
+        pairs = list(combinations(range(d), 2))
+        self.grids_1d = {attribute: Grid1D(attribute, c, self.chosen_g1)
+                         for attribute in range(d)}
+        self.grids_2d = {pair: Grid2D(pair, c, self.chosen_g2) for pair in pairs}
+        entries_1d = state["accumulators"]["1d"]
+        entries_2d = state["accumulators"]["2d"]
+        self._acc_1d = {
+            attribute: (SupportAccumulator.from_dict(entries_1d[str(attribute)])
+                        if entries_1d.get(str(attribute)) is not None else None)
+            for attribute in range(d)}
+        self._acc_2d = {
+            pair: (SupportAccumulator.from_dict(entries_2d[f"{pair[0]},{pair[1]}"])
+                   if entries_2d.get(f"{pair[0]},{pair[1]}") is not None else None)
+            for pair in pairs}
+        return self
+
+    def _batch_split(self, n_users: int, d: int) -> tuple[int, int]:
+        """1-D/2-D user split ``(n1, n2)`` for one batch.
+
+        Same proportions and clamping as the guideline's user split, but
+        computable for arbitrarily small batches: a 1-user batch sends its
+        user to one side instead of failing the guideline's n1 >= 1 / n2 >= 1
+        requirement.
+        """
+        if self.sigma is None:
+            m1, m2 = d, d * (d - 1) // 2
+            raw = n_users * m1 / (m1 + m2)
+        else:
+            raw = n_users * self.sigma
+        n1 = int(round(raw))
+        if n_users >= 2:
+            n1 = min(max(n1, 1), n_users - 1)
+        else:
+            n1 = min(max(n1, 0), n_users)
+        return n1, n_users - n1
+
+    def _population_blocks(self, n_users: int, n1: int,
+                           n2: int) -> tuple[np.ndarray, np.ndarray]:
         """Split user indices into the 1-D block and the 2-D block."""
-        sizes = [choice.n1, choice.n2]
-        if sum(sizes) != n_users:
-            sizes[1] = n_users - sizes[0]
-        blocks = partition_users_weighted(n_users, sizes, self.rng)
+        blocks = partition_users_weighted(n_users, [n1, n2], self.rng)
         return blocks[0], blocks[1]
 
     # ------------------------------------------------------------------

@@ -22,7 +22,7 @@ from itertools import combinations
 import numpy as np
 
 from ..datasets import Dataset
-from ..frequency_oracles import OptimizedLocalHash
+from ..frequency_oracles import OptimizedLocalHash, SupportAccumulator
 from ..protocol import partition_users
 from ..queries import Predicate, RangeQuery
 from .base import RangeQueryMechanism
@@ -76,37 +76,130 @@ class TDG(RangeQueryMechanism):
         self.oracle_mode = oracle_mode
         self.grids: dict[tuple[int, int], Grid2D] = {}
         self.chosen_g2: int | None = None
+        self._accumulators: dict[tuple[int, int], SupportAccumulator | None] = {}
+        self._total_reports = 0
 
     # ------------------------------------------------------------------
     # Phase 1 + 2: collection and post-processing
     # ------------------------------------------------------------------
     def _fit(self, dataset: Dataset) -> None:
+        self._reset_aggregation()
+        self._partial_fit(dataset, total_users=None)
+        self._finalize()
+
+    def _reset_aggregation(self) -> None:
+        self.grids = {}
+        self.chosen_g2 = None
+        self._accumulators = {}
+        self._total_reports = 0
+
+    def _partial_fit(self, dataset: Dataset, total_users: int | None) -> None:
         d = dataset.n_attributes
         if d < 2:
             raise ValueError("TDG requires at least 2 attributes")
         c = dataset.domain_size
         pairs = list(combinations(range(d), 2))
 
-        if self.granularity is not None:
-            g2 = int(self.granularity)
-        else:
-            g2 = choose_granularity_tdg(self.epsilon, dataset.n_users, d, c,
-                                        alpha2=self.alpha2).g2
-        self.chosen_g2 = g2
+        if self.chosen_g2 is None:
+            if self.granularity is not None:
+                g2 = int(self.granularity)
+            else:
+                g2 = choose_granularity_tdg(self.epsilon,
+                                            total_users or dataset.n_users,
+                                            d, c, alpha2=self.alpha2).g2
+            self.chosen_g2 = g2
+            self.grids = {pair: Grid2D(pair, c, g2) for pair in pairs}
+            self._accumulators = {pair: None for pair in pairs}
+        g2 = self.chosen_g2
 
         groups = partition_users(dataset.n_users, len(pairs), self.rng)
-        self.grids = {}
         for pair, group in zip(pairs, groups):
-            grid = Grid2D(pair, c, g2)
             if group.size > 0:
                 oracle = OptimizedLocalHash(self.epsilon, g2 * g2, rng=self.rng,
                                             mode=self.oracle_mode)
-                grid.collect(dataset.columns(pair)[group], oracle)
-            self.grids[pair] = grid
+                batch = self.grids[pair].accumulate(
+                    dataset.columns(pair)[group], oracle)
+                if self._accumulators[pair] is None:
+                    self._accumulators[pair] = batch
+                else:
+                    self._accumulators[pair].merge(batch)
+        self._total_reports += dataset.n_users
 
+    def _merge(self, other: "TDG") -> None:
+        if other.chosen_g2 is None:
+            return
+        if self.chosen_g2 is None:
+            self.chosen_g2 = other.chosen_g2
+            self.grids = {pair: Grid2D(pair, self._domain_size, other.chosen_g2)
+                          for pair in other.grids}
+            self._accumulators = {pair: None for pair in other.grids}
+        elif self.chosen_g2 != other.chosen_g2:
+            raise ValueError(
+                f"shards disagree on the 2-D granularity ({self.chosen_g2} vs "
+                f"{other.chosen_g2}); pass the same total_users or an explicit "
+                "granularity to every shard")
+        for pair, accumulator in other._accumulators.items():
+            if accumulator is None:
+                continue
+            if self._accumulators[pair] is None:
+                self._accumulators[pair] = accumulator.copy()
+            else:
+                self._accumulators[pair].merge(accumulator)
+        self._total_reports += other._total_reports
+
+    def _finalize(self) -> None:
+        g2 = self.chosen_g2
+        for pair, grid in self.grids.items():
+            oracle = OptimizedLocalHash(self.epsilon, g2 * g2, rng=self.rng,
+                                        mode=self.oracle_mode)
+            grid.finalize_from(self._accumulators[pair], oracle)
         if self.postprocess:
-            run_phase2(d, {}, self.grids, n_buckets=g2,
+            run_phase2(self._n_attributes, {}, self.grids, n_buckets=g2,
                        rounds=self.consistency_rounds)
+
+    # ------------------------------------------------------------------
+    # Shard-state serialization (see docs/architecture.md for the schema)
+    # ------------------------------------------------------------------
+    def shard_state(self) -> dict:
+        """Portable snapshot of the un-finalised accumulator state."""
+        if self.chosen_g2 is None:
+            raise RuntimeError("no batches ingested; nothing to serialize")
+        return {
+            "mechanism": self.name,
+            "epsilon": self.epsilon,
+            "n_attributes": self._n_attributes,
+            "domain_size": self._domain_size,
+            "granularity": {"g2": self.chosen_g2},
+            "total_reports": self._total_reports,
+            "accumulators": {
+                "2d": {f"{a},{b}": (acc.to_dict() if acc is not None else None)
+                       for (a, b), acc in self._accumulators.items()},
+            },
+        }
+
+    def load_shard_state(self, state: dict) -> "TDG":
+        """Restore accumulator state produced by :meth:`shard_state`."""
+        if self.chosen_g2 is not None or self._fitted:
+            raise RuntimeError("shard state can only be loaded into a fresh "
+                               "mechanism instance")
+        if state["mechanism"] != self.name:
+            raise ValueError(f"state belongs to {state['mechanism']!r}, "
+                             f"not {self.name!r}")
+        if float(state["epsilon"]) != self.epsilon:
+            raise ValueError("state was collected under a different epsilon")
+        self._n_attributes = int(state["n_attributes"])
+        self._domain_size = int(state["domain_size"])
+        self.chosen_g2 = int(state["granularity"]["g2"])
+        self._total_reports = int(state["total_reports"])
+        pairs = list(combinations(range(self._n_attributes), 2))
+        self.grids = {pair: Grid2D(pair, self._domain_size, self.chosen_g2)
+                      for pair in pairs}
+        entries = state["accumulators"]["2d"]
+        self._accumulators = {
+            pair: (SupportAccumulator.from_dict(entries[f"{pair[0]},{pair[1]}"])
+                   if entries.get(f"{pair[0]},{pair[1]}") is not None else None)
+            for pair in pairs}
+        return self
 
     # ------------------------------------------------------------------
     # Phase 3: answering

@@ -41,6 +41,12 @@ class ExperimentConfig:
     seed: int = 0
     dataset_kwargs: dict[str, Any] = field(default_factory=dict)
     mechanism_kwargs: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: Number of user shards collected in parallel per mechanism (1 = the
+    #: classic single-shot fit).  Mechanisms without sharding support fall
+    #: back to fit() regardless.
+    n_shards: int = 1
+    #: Concurrency cap for the shard executor; None = one worker per shard.
+    shard_workers: int | None = None
 
     def with_overrides(self, **overrides) -> "ExperimentConfig":
         """Return a copy with the given fields replaced."""
@@ -64,3 +70,7 @@ class ExperimentConfig:
             raise ValueError("n_queries and n_repeats must be positive")
         if not self.methods:
             raise ValueError("at least one mechanism must be listed")
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be positive")
+        if self.shard_workers is not None and self.shard_workers < 1:
+            raise ValueError("shard_workers must be positive when set")

@@ -18,6 +18,7 @@ from ..baselines import CALM, HIO, LHIO, MSW, Uniform
 from ..core import HDG, IHDG, ITDG, TDG, RangeQueryMechanism
 from ..datasets import Dataset, make_dataset
 from ..metrics import RepeatedRunSummary, absolute_errors, mean_absolute_error
+from ..pipeline import parallel_fit, shard_seed
 from ..queries import RangeQuery, WorkloadGenerator, answer_workload
 from .config import ExperimentConfig
 
@@ -83,6 +84,18 @@ def _prepare_dataset(config: ExperimentConfig, repeat: int) -> Dataset:
                         config.domain_size, rng=rng, **config.dataset_kwargs)
 
 
+def _fit_sharded(method: str, method_seed: int, kwargs: dict[str, Any],
+                 dataset: Dataset, config: ExperimentConfig) -> RangeQueryMechanism:
+    """Collect a shardable mechanism over n_shards parallel user shards."""
+    def factory(shard_index: int) -> RangeQueryMechanism:
+        return build_mechanism(method, config.epsilon,
+                               seed=shard_seed(method_seed, shard_index),
+                               **kwargs)
+
+    return parallel_fit(factory, dataset, n_shards=config.n_shards,
+                        max_workers=config.shard_workers)
+
+
 def _prepare_workload(config: ExperimentConfig, repeat: int) -> list[RangeQuery]:
     rng = np.random.default_rng(config.seed + 7_000_003 * repeat + 17)
     generator = WorkloadGenerator(config.n_attributes, config.domain_size, rng=rng)
@@ -120,10 +133,14 @@ def run_experiment(config: ExperimentConfig,
         truths = answer_workload(dataset, queries)
         for position, method in enumerate(config.methods):
             kwargs: dict[str, Any] = dict(config.mechanism_kwargs.get(method, {}))
+            method_seed = config.seed + 31 * repeat + position
             mechanism = build_mechanism(method, config.epsilon,
-                                        seed=config.seed + 31 * repeat + position,
-                                        **kwargs)
-            mechanism.fit(dataset)
+                                        seed=method_seed, **kwargs)
+            if config.n_shards > 1 and mechanism.supports_sharding:
+                mechanism = _fit_sharded(method, method_seed, kwargs,
+                                         dataset, config)
+            else:
+                mechanism.fit(dataset)
             estimates = mechanism.answer_workload(queries)
             per_method_maes[method].append(mean_absolute_error(estimates, truths))
             per_method_errors[method].append(absolute_errors(estimates, truths))

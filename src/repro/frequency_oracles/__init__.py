@@ -14,7 +14,8 @@ AdaptiveFrequencyOracle
 """
 
 from .adaptive import AdaptiveFrequencyOracle, choose_oracle_kind
-from .base import FrequencyOracle, grr_variance, olh_variance
+from .base import (FrequencyOracle, SupportAccumulator, grr_variance,
+                   olh_variance)
 from .grr import GeneralizedRandomizedResponse
 from .hashing import UniversalHashFamily
 from .olh import OptimizedLocalHash
@@ -26,6 +27,7 @@ __all__ = [
     "GeneralizedRandomizedResponse",
     "OptimizedLocalHash",
     "SquareWave",
+    "SupportAccumulator",
     "UniversalHashFamily",
     "choose_oracle_kind",
     "grr_variance",

@@ -47,6 +47,12 @@ class AdaptiveFrequencyOracle(FrequencyOracle):
     def estimate_frequencies(self, values: np.ndarray) -> np.ndarray:
         return self._delegate.estimate_frequencies(values)
 
+    def accumulate(self, values: np.ndarray):
+        return self._delegate.accumulate(values)
+
+    def estimate_from_accumulator(self, accumulator) -> np.ndarray:
+        return self._delegate.estimate_from_accumulator(accumulator)
+
     def variance(self, n: int, true_frequency: float = 0.0) -> float:
         return self._delegate.variance(n, true_frequency)
 

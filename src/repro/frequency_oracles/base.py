@@ -6,14 +6,92 @@ user.  Every concrete oracle in this package implements
 :class:`FrequencyOracle` and exposes a single high-level entry point,
 :meth:`FrequencyOracle.estimate_frequencies`, so the grid approaches and
 baselines can swap oracles freely.
+
+Every oracle's server side is a *sum over user reports*, so it factors
+into two halves:
+
+* :meth:`FrequencyOracle.accumulate` turns a batch of user values into a
+  :class:`SupportAccumulator` — raw per-candidate support counts plus the
+  report count.  Accumulators from disjoint user batches are exactly
+  additive (:meth:`SupportAccumulator.merge`), which is what makes the
+  whole collection pipeline shard-mergeable.
+* :meth:`FrequencyOracle.estimate_from_accumulator` debiases merged
+  support counts into frequency estimates.  It is deterministic, so
+  merging shards and estimating once is an unbiased drop-in for the
+  one-shot protocol.
 """
 
 from __future__ import annotations
 
 import abc
+import dataclasses
 import math
 
 import numpy as np
+
+
+@dataclasses.dataclass(eq=False)
+class SupportAccumulator:
+    """Additive aggregate-side state of a frequency oracle.
+
+    Parameters
+    ----------
+    supports:
+        Float array of per-candidate support counts.  The meaning of one
+        "support" is oracle-specific (a matching report for GRR/OLH, a
+        report landing in an output bucket for Square Wave) but is always
+        a plain count over users, hence additive across disjoint batches.
+    n_reports:
+        Number of user reports the supports were counted over.
+    """
+
+    supports: np.ndarray
+    n_reports: int = 0
+
+    def __post_init__(self) -> None:
+        self.supports = np.asarray(self.supports, dtype=float)
+        if self.supports.ndim != 1:
+            raise ValueError("supports must be a 1-D count vector")
+        self.n_reports = int(self.n_reports)
+        if self.n_reports < 0:
+            raise ValueError("n_reports must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Shard algebra
+    # ------------------------------------------------------------------
+    def merge(self, other: "SupportAccumulator") -> "SupportAccumulator":
+        """Add another batch's counts into this accumulator (in place)."""
+        if other.supports.shape != self.supports.shape:
+            raise ValueError(
+                f"cannot merge accumulators over different candidate sets: "
+                f"{self.supports.shape} vs {other.supports.shape}")
+        self.supports = self.supports + other.supports
+        self.n_reports += other.n_reports
+        return self
+
+    def copy(self) -> "SupportAccumulator":
+        return SupportAccumulator(self.supports.copy(), self.n_reports)
+
+    def equals(self, other: "SupportAccumulator") -> bool:
+        """Exact equality of counts (the shard-merge invariant checked in tests)."""
+        return (self.n_reports == other.n_reports
+                and self.supports.shape == other.supports.shape
+                and bool(np.all(self.supports == other.supports)))
+
+    # ------------------------------------------------------------------
+    # Serialization (the pipeline's on-the-wire shard state)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"supports": self.supports.tolist(), "n_reports": self.n_reports}
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "SupportAccumulator":
+        return cls(np.asarray(state["supports"], dtype=float),
+                   int(state["n_reports"]))
+
+    @classmethod
+    def empty(cls, size: int) -> "SupportAccumulator":
+        return cls(np.zeros(int(size)), 0)
 
 
 class FrequencyOracle(abc.ABC):
@@ -64,6 +142,32 @@ class FrequencyOracle(abc.ABC):
     @abc.abstractmethod
     def variance(self, n: int, true_frequency: float = 0.0) -> float:
         """Theoretical per-value estimation variance for ``n`` users."""
+
+    # ------------------------------------------------------------------
+    # Shard-mergeable aggregation API
+    # ------------------------------------------------------------------
+    def accumulate(self, values: np.ndarray) -> SupportAccumulator:
+        """Collect one batch of reports into an additive accumulator.
+
+        Accumulators for disjoint user batches can be merged exactly
+        (:meth:`SupportAccumulator.merge`) and debiased once at the end
+        with :meth:`estimate_from_accumulator`; running the two halves
+        back-to-back on a single batch reproduces
+        :meth:`estimate_frequencies` exactly (same randomness draws).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support sharded aggregation")
+
+    def estimate_from_accumulator(self,
+                                  accumulator: SupportAccumulator) -> np.ndarray:
+        """Debias merged support counts into frequency estimates."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support sharded aggregation")
+
+    @property
+    def supports_sharding(self) -> bool:
+        """Whether this oracle implements the accumulate/estimate split."""
+        return type(self).accumulate is not FrequencyOracle.accumulate
 
     # ------------------------------------------------------------------
     # Helpers shared by implementations

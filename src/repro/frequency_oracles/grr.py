@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import FrequencyOracle, grr_variance
+from .base import FrequencyOracle, SupportAccumulator, grr_variance
 
 
 class GeneralizedRandomizedResponse(FrequencyOracle):
@@ -43,13 +43,30 @@ class GeneralizedRandomizedResponse(FrequencyOracle):
     # ------------------------------------------------------------------
     def aggregate(self, reports: np.ndarray) -> np.ndarray:
         """Turn raw perturbed reports into unbiased frequency estimates."""
+        return self.estimate_from_accumulator(self.count_supports(reports))
+
+    def count_supports(self, reports: np.ndarray) -> SupportAccumulator:
+        """Count perturbed reports per candidate value."""
         reports = np.asarray(reports, dtype=np.int64)
-        n = reports.size
         counts = np.bincount(reports, minlength=self.domain_size).astype(float)
-        return (counts / n - self.q) / (self.p - self.q)
+        return SupportAccumulator(counts, reports.size)
+
+    def accumulate(self, values: np.ndarray) -> SupportAccumulator:
+        return self.count_supports(self.perturb(values))
+
+    def estimate_from_accumulator(self,
+                                  accumulator: SupportAccumulator) -> np.ndarray:
+        if accumulator.supports.shape != (self.domain_size,):
+            raise ValueError(
+                f"accumulator covers {accumulator.supports.shape[0]} candidates, "
+                f"expected {self.domain_size}")
+        if accumulator.n_reports < 1:
+            raise ValueError("cannot estimate frequencies from zero reports")
+        n = accumulator.n_reports
+        return (accumulator.supports / n - self.q) / (self.p - self.q)
 
     def estimate_frequencies(self, values: np.ndarray) -> np.ndarray:
-        return self.aggregate(self.perturb(values))
+        return self.estimate_from_accumulator(self.accumulate(values))
 
     def variance(self, n: int, true_frequency: float = 0.0) -> float:
         return grr_variance(self.epsilon, self.domain_size, n)

@@ -36,7 +36,7 @@ import math
 
 import numpy as np
 
-from .base import FrequencyOracle, olh_variance
+from .base import FrequencyOracle, SupportAccumulator, olh_variance
 from .hashing import UniversalHashFamily
 
 
@@ -95,32 +95,51 @@ class OptimizedLocalHash(FrequencyOracle):
     def aggregate(self, a: np.ndarray, b: np.ndarray,
                   reports: np.ndarray) -> np.ndarray:
         """Aggregate per-user reports into unbiased frequency estimates."""
-        n = reports.size
+        return self.estimate_from_accumulator(self.count_supports(a, b, reports))
+
+    def count_supports(self, a: np.ndarray, b: np.ndarray,
+                       reports: np.ndarray) -> SupportAccumulator:
+        """Count, per candidate value, how many reports support it."""
         family = UniversalHashFamily(self.domain_size, self.hash_range, self.rng)
         hash_matrix = family.evaluate_matrix(a, b)
         supports = (hash_matrix == reports[:, None]).sum(axis=0).astype(float)
-        return (supports / n - self.q_support) / (self.p - self.q_support)
+        return SupportAccumulator(supports, reports.size)
 
     # ------------------------------------------------------------------
     # Fast aggregate simulation
     # ------------------------------------------------------------------
-    def _estimate_fast(self, values: np.ndarray) -> np.ndarray:
+    def _accumulate_fast(self, values: np.ndarray) -> SupportAccumulator:
         values = self._validate_values(values)
         n = values.size
         true_counts = np.bincount(values, minlength=self.domain_size)
         own_support = self.rng.binomial(true_counts, self.p)
         other_support = self.rng.binomial(n - true_counts, self.q_support)
         supports = (own_support + other_support).astype(float)
-        return (supports / n - self.q_support) / (self.p - self.q_support)
+        return SupportAccumulator(supports, n)
 
     # ------------------------------------------------------------------
     # FrequencyOracle API
     # ------------------------------------------------------------------
-    def estimate_frequencies(self, values: np.ndarray) -> np.ndarray:
+    def accumulate(self, values: np.ndarray) -> SupportAccumulator:
         if self.mode == "fast":
-            return self._estimate_fast(values)
+            return self._accumulate_fast(values)
         a, b, reports = self.perturb(values)
-        return self.aggregate(a, b, reports)
+        return self.count_supports(a, b, reports)
+
+    def estimate_from_accumulator(self,
+                                  accumulator: SupportAccumulator) -> np.ndarray:
+        if accumulator.supports.shape != (self.domain_size,):
+            raise ValueError(
+                f"accumulator covers {accumulator.supports.shape[0]} candidates, "
+                f"expected {self.domain_size}")
+        if accumulator.n_reports < 1:
+            raise ValueError("cannot estimate frequencies from zero reports")
+        n = accumulator.n_reports
+        return ((accumulator.supports / n - self.q_support)
+                / (self.p - self.q_support))
+
+    def estimate_frequencies(self, values: np.ndarray) -> np.ndarray:
+        return self.estimate_from_accumulator(self.accumulate(values))
 
     def variance(self, n: int, true_frequency: float = 0.0) -> float:
         return olh_variance(self.epsilon, n)

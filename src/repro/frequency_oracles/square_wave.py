@@ -19,7 +19,7 @@ import math
 
 import numpy as np
 
-from .base import FrequencyOracle
+from .base import FrequencyOracle, SupportAccumulator
 
 
 def squarewave_parameters(epsilon: float) -> tuple[float, float, float]:
@@ -185,11 +185,20 @@ class SquareWave(FrequencyOracle):
     # ------------------------------------------------------------------
     # FrequencyOracle API
     # ------------------------------------------------------------------
-    def estimate_frequencies(self, values: np.ndarray) -> np.ndarray:
+    def accumulate(self, values: np.ndarray) -> SupportAccumulator:
+        """Bucketised report counts — additive across batches; EM runs once
+        on the merged counts at estimation time."""
         reports = self.perturb(values)
         buckets = self._bucketise(reports)
-        counts = np.bincount(buckets, minlength=self.output_bins)
-        return self.reconstruct(counts)
+        counts = np.bincount(buckets, minlength=self.output_bins).astype(float)
+        return SupportAccumulator(counts, values.size)
+
+    def estimate_from_accumulator(self,
+                                  accumulator: SupportAccumulator) -> np.ndarray:
+        return self.reconstruct(accumulator.supports)
+
+    def estimate_frequencies(self, values: np.ndarray) -> np.ndarray:
+        return self.estimate_from_accumulator(self.accumulate(values))
 
     def variance(self, n: int, true_frequency: float = 0.0) -> float:
         """Approximate per-value variance; SW has no closed form, so we use

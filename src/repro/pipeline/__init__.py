@@ -1,0 +1,32 @@
+"""Incremental, shard-mergeable aggregation pipeline.
+
+The paper's grid mechanisms are aggregation-based — every cell estimate
+is a debiased sum over user reports — so collection can be split across
+shards and merged exactly.  This package provides the serving-side
+plumbing on top of the mechanisms' ``partial_fit`` / ``merge`` /
+``finalize`` protocol:
+
+ShardAggregator
+    Stream user-report batches into one shard's additive state; merge
+    aggregators across shards; serialize/restore the state as JSON.
+parallel_fit / shard_dataset
+    Fit a mechanism over K disjoint user shards concurrently with
+    :mod:`concurrent.futures` and merge the results deterministically.
+"""
+
+from .aggregator import (SHARDABLE_MECHANISMS, ShardAggregator,
+                         merge_aggregators, write_state)
+from .parallel import (SHARD_SEED_STRIDE, ParallelFitReport, parallel_fit,
+                       shard_dataset, shard_seed)
+
+__all__ = [
+    "ParallelFitReport",
+    "SHARDABLE_MECHANISMS",
+    "SHARD_SEED_STRIDE",
+    "ShardAggregator",
+    "merge_aggregators",
+    "parallel_fit",
+    "shard_dataset",
+    "shard_seed",
+    "write_state",
+]

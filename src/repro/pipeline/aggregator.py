@@ -1,0 +1,204 @@
+"""Shard-level aggregation front-end for the grid mechanisms.
+
+A :class:`ShardAggregator` wraps one shardable mechanism (TDG/HDG or
+their ablation variants) and exposes the collection side of the pipeline
+as a stream-processing object: feed it user-report batches with
+:meth:`ShardAggregator.add_batch`, combine aggregators built on
+independent shards with :meth:`ShardAggregator.merge`, and call
+:meth:`ShardAggregator.finalize` once to run Phase 2 and obtain a
+query-answering mechanism.
+
+Because each grid's state is a plain vector of support counts, an
+aggregator serialises to a small JSON document (:meth:`save` /
+:meth:`load`), so shards can live in different processes or on different
+machines and be merged wherever the estimates are served from.  The
+state schema is documented in ``docs/architecture.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..core import HDG, IHDG, ITDG, TDG, RangeQueryMechanism
+from ..datasets import Dataset
+
+#: Shardable mechanisms by paper name.
+SHARDABLE_MECHANISMS: dict[str, type] = {
+    "TDG": TDG,
+    "HDG": HDG,
+    "ITDG": ITDG,
+    "IHDG": IHDG,
+}
+
+#: Format tag written into serialized shard states.
+STATE_FORMAT = "repro.shard-state"
+STATE_VERSION = 1
+
+
+def stamp_state(state: dict) -> dict:
+    """Add the format/version envelope to a mechanism's shard state."""
+    state["format"] = STATE_FORMAT
+    state["version"] = STATE_VERSION
+    return state
+
+
+def write_state(state: dict, path: str | Path) -> Path:
+    """Write one shard state (stamped) as JSON; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(stamp_state(dict(state))))
+    return path
+
+
+class ShardAggregator:
+    """Incremental, mergeable LDP collection for one mechanism.
+
+    Parameters
+    ----------
+    mechanism:
+        Paper name of a shardable mechanism (``"TDG"``, ``"HDG"``,
+        ``"ITDG"``, ``"IHDG"``) or an un-fitted mechanism instance with
+        sharding support.
+    epsilon:
+        Per-user privacy budget (ignored when an instance is passed).
+    total_users:
+        Expected total population across all shards; used to derive the
+        guideline granularities so that independently built aggregators
+        agree and can be merged.  Defaults to the first batch's size —
+        fine for a single aggregator, but multi-shard deployments should
+        pass the real total (or explicit granularities).
+    seed:
+        Seed for the wrapped mechanism's randomness.
+    mechanism_kwargs:
+        Extra keyword arguments forwarded to the mechanism constructor.
+    """
+
+    def __init__(self, mechanism: str | RangeQueryMechanism = "HDG",
+                 epsilon: float = 1.0, total_users: int | None = None,
+                 seed: int | None = None, **mechanism_kwargs):
+        if isinstance(mechanism, RangeQueryMechanism):
+            instance = mechanism
+            if instance.is_fitted:
+                raise ValueError("mechanism is already finalised")
+        else:
+            try:
+                factory = SHARDABLE_MECHANISMS[mechanism]
+            except KeyError:
+                raise ValueError(
+                    f"unknown or non-shardable mechanism {mechanism!r}; "
+                    f"known: {sorted(SHARDABLE_MECHANISMS)}") from None
+            instance = factory(epsilon, seed=seed, **mechanism_kwargs)
+        if not instance.supports_sharding:
+            raise ValueError(
+                f"{type(instance).__name__} does not support sharded "
+                "aggregation")
+        self.mechanism = instance
+        self.total_users = total_users
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def add_batch(self, batch: Dataset | np.ndarray,
+                  domain_size: int | None = None) -> "ShardAggregator":
+        """Ingest one batch of user reports.
+
+        ``batch`` is either a :class:`~repro.datasets.Dataset` or a raw
+        ``(n, d)`` integer array (then ``domain_size`` is required).
+        """
+        self._require_open("add_batch")
+        if not isinstance(batch, Dataset):
+            if domain_size is None:
+                raise ValueError(
+                    "domain_size is required when passing a raw value array")
+            batch = Dataset(np.asarray(batch), domain_size)
+        self.mechanism.partial_fit(batch, total_users=self.total_users)
+        return self
+
+    @property
+    def n_reports(self) -> int:
+        """Total user reports ingested so far (across merges)."""
+        return getattr(self.mechanism, "_total_reports", 0)
+
+    # ------------------------------------------------------------------
+    # Shard algebra
+    # ------------------------------------------------------------------
+    def merge(self, other: "ShardAggregator") -> "ShardAggregator":
+        """Fold another shard's aggregator into this one (exact on counts)."""
+        self._require_open("merge")
+        other._require_open("merge")
+        self.mechanism.merge(other.mechanism)
+        return self
+
+    def finalize(self) -> RangeQueryMechanism:
+        """Run Phase 2 / estimation on the merged counts; return the mechanism."""
+        self._require_open("finalize")
+        self.mechanism.finalize()
+        self._finalized = True
+        return self.mechanism
+
+    def _require_open(self, operation: str) -> None:
+        if self._finalized:
+            raise RuntimeError(
+                f"cannot {operation} after finalize(); aggregators are "
+                "single-use")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of the accumulated (pre-Phase-2) state."""
+        return stamp_state(self.mechanism.shard_state())
+
+    @classmethod
+    def from_state_dict(cls, state: dict, seed: int | None = None,
+                        **mechanism_kwargs) -> "ShardAggregator":
+        """Rebuild an aggregator from :meth:`state_dict` output."""
+        if state.get("format") != STATE_FORMAT:
+            raise ValueError(
+                f"not a {STATE_FORMAT} document (format="
+                f"{state.get('format')!r})")
+        if int(state.get("version", 0)) > STATE_VERSION:
+            raise ValueError(
+                f"state version {state['version']} is newer than supported "
+                f"version {STATE_VERSION}")
+        name = state["mechanism"]
+        try:
+            factory = SHARDABLE_MECHANISMS[name]
+        except KeyError:
+            raise ValueError(f"unknown mechanism in state: {name!r}") from None
+        mechanism = factory(float(state["epsilon"]), seed=seed,
+                            **mechanism_kwargs)
+        mechanism.load_shard_state(state)
+        aggregator = cls(mechanism)
+        aggregator.total_users = state.get("total_reports") or None
+        return aggregator
+
+    def save(self, path: str | Path) -> Path:
+        """Write the shard state as JSON; returns the path written."""
+        return write_state(self.mechanism.shard_state(), path)
+
+    @classmethod
+    def load(cls, path: str | Path, seed: int | None = None,
+             **mechanism_kwargs) -> "ShardAggregator":
+        """Read a shard state written by :meth:`save`."""
+        state = json.loads(Path(path).read_text())
+        return cls.from_state_dict(state, seed=seed, **mechanism_kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "finalized" if self._finalized else "open"
+        return (f"ShardAggregator({type(self.mechanism).__name__}, "
+                f"epsilon={self.mechanism.epsilon}, "
+                f"n_reports={self.n_reports}, {status})")
+
+
+def merge_aggregators(aggregators: list[ShardAggregator]) -> ShardAggregator:
+    """Merge several shard aggregators into the first one (left fold)."""
+    if not aggregators:
+        raise ValueError("need at least one aggregator to merge")
+    merged = aggregators[0]
+    for aggregator in aggregators[1:]:
+        merged.merge(aggregator)
+    return merged

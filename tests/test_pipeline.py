@@ -1,0 +1,407 @@
+"""Tests for the shard-mergeable aggregation pipeline.
+
+The pipeline's contract has an exact half and a statistical half:
+
+* **Exact** — support-count accumulators add across shards, and
+  ``fit(data)`` is byte-for-byte ``partial_fit(data); finalize()``.
+* **Statistical** — merging K independently-perturbed shards yields
+  estimates with the same distribution as one-shot collection over the
+  concatenated population, so accuracy against ground truth matches up
+  to sampling noise.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import HDG, TDG
+from repro.datasets import Dataset, make_dataset
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.frequency_oracles import (GeneralizedRandomizedResponse,
+                                     OptimizedLocalHash, SquareWave,
+                                     SupportAccumulator)
+from repro.metrics import mean_absolute_error
+from repro.pipeline import (ParallelFitReport, ShardAggregator,
+                            merge_aggregators, parallel_fit, shard_dataset)
+from repro.queries import WorkloadGenerator, answer_workload
+
+
+def _split(dataset: Dataset, n_shards: int) -> list[Dataset]:
+    return shard_dataset(dataset, n_shards)
+
+
+# ----------------------------------------------------------------------
+# SupportAccumulator algebra
+# ----------------------------------------------------------------------
+def test_accumulator_merge_adds_counts_exactly():
+    a = SupportAccumulator(np.array([1.0, 2.0, 3.0]), 6)
+    b = SupportAccumulator(np.array([0.5, 0.0, 4.0]), 5)
+    merged = a.copy().merge(b)
+    assert merged.equals(SupportAccumulator(np.array([1.5, 2.0, 7.0]), 11))
+    # The originals are untouched.
+    assert a.n_reports == 6 and b.n_reports == 5
+
+
+def test_accumulator_merge_rejects_shape_mismatch():
+    a = SupportAccumulator(np.zeros(3), 0)
+    with pytest.raises(ValueError):
+        a.merge(SupportAccumulator(np.zeros(4), 0))
+
+
+def test_accumulator_serialization_roundtrip():
+    a = SupportAccumulator(np.array([1.0, 0.25, 9.0]), 10)
+    restored = SupportAccumulator.from_dict(a.to_dict())
+    assert restored.equals(a)
+
+
+@pytest.mark.parametrize("n_parts", [2, 3, 5])
+def test_oracle_accumulators_sum_exactly_over_shards(rng, n_parts):
+    """Exact-equality test for the support-count accumulators."""
+    values = rng.integers(0, 16, size=3_000)
+    oracle = OptimizedLocalHash(1.0, 16, rng=np.random.default_rng(0))
+    parts = np.array_split(values, n_parts)
+    accumulators = [oracle.accumulate(part) for part in parts]
+    merged = accumulators[0].copy()
+    for accumulator in accumulators[1:]:
+        merged.merge(accumulator)
+    expected = np.sum([acc.supports for acc in accumulators], axis=0)
+    assert np.array_equal(merged.supports, expected)
+    assert merged.n_reports == values.size
+
+
+# ----------------------------------------------------------------------
+# Oracle accumulate/estimate split
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("factory", [
+    lambda rng: GeneralizedRandomizedResponse(1.0, 12, rng=rng),
+    lambda rng: OptimizedLocalHash(1.0, 12, rng=rng, mode="fast"),
+    lambda rng: OptimizedLocalHash(1.0, 12, rng=rng, mode="user"),
+    lambda rng: SquareWave(1.0, 12, rng=rng),
+])
+def test_split_api_matches_one_shot_estimates(factory):
+    values = np.random.default_rng(3).integers(0, 12, size=2_000)
+    one_shot = factory(np.random.default_rng(42)).estimate_frequencies(values)
+    oracle = factory(np.random.default_rng(42))
+    split = oracle.estimate_from_accumulator(oracle.accumulate(values))
+    assert np.array_equal(one_shot, split)
+
+
+def test_estimate_from_empty_accumulator_rejected():
+    oracle = OptimizedLocalHash(1.0, 8, rng=np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        oracle.estimate_from_accumulator(SupportAccumulator.empty(8))
+
+
+# ----------------------------------------------------------------------
+# Mechanism-level partial_fit / merge / finalize
+# ----------------------------------------------------------------------
+def test_fit_is_partial_fit_plus_finalize_tdg(small_dataset):
+    one_shot = TDG(epsilon=1.0, seed=11).fit(small_dataset)
+    sharded = TDG(epsilon=1.0, seed=11).partial_fit(small_dataset).finalize()
+    for pair in one_shot.grids:
+        assert np.array_equal(one_shot.grids[pair].frequencies,
+                              sharded.grids[pair].frequencies)
+
+
+def test_fit_is_partial_fit_plus_finalize_hdg(small_dataset):
+    one_shot = HDG(epsilon=1.0, seed=11).fit(small_dataset)
+    sharded = HDG(epsilon=1.0, seed=11).partial_fit(small_dataset).finalize()
+    for attribute in one_shot.grids_1d:
+        assert np.array_equal(one_shot.grids_1d[attribute].frequencies,
+                              sharded.grids_1d[attribute].frequencies)
+    for pair in one_shot.response_matrices:
+        assert np.array_equal(one_shot.response_matrices[pair],
+                              sharded.response_matrices[pair])
+
+
+@pytest.mark.parametrize("mechanism_cls", [TDG, HDG])
+def test_merged_accumulators_equal_sum_of_shards(small_dataset, mechanism_cls):
+    """merge() is exact count addition on every grid's accumulator."""
+    n = small_dataset.n_users
+    shards = _split(small_dataset, 2)
+    fitted = [mechanism_cls(1.0, seed=s).partial_fit(shard, total_users=n)
+              for s, shard in enumerate(shards)]
+    merged = mechanism_cls(1.0, seed=9).merge(fitted[0]).merge(fitted[1])
+
+    def acc_maps(mechanism):
+        if mechanism_cls is TDG:
+            return [mechanism._accumulators]
+        return [mechanism._acc_1d, mechanism._acc_2d]
+
+    for merged_map, map_a, map_b in zip(acc_maps(merged), acc_maps(fitted[0]),
+                                        acc_maps(fitted[1])):
+        for key, accumulator in merged_map.items():
+            parts = [m[key] for m in (map_a, map_b) if m[key] is not None]
+            assert accumulator is not None and parts
+            expected = np.sum([p.supports for p in parts], axis=0)
+            assert np.array_equal(accumulator.supports, expected)
+            assert accumulator.n_reports == sum(p.n_reports for p in parts)
+    assert merged._total_reports == n
+
+
+@pytest.mark.parametrize("n_shards", [2, 4])
+def test_sharded_estimates_statistically_match_single_shot(n_shards):
+    """merge(partial_fit(a), partial_fit(b)) ~ fit(concat(a, b)).
+
+    Both paths are unbiased estimators of the same binned distribution,
+    so their accuracy against ground truth must agree up to sampling
+    noise.  Granularities are pinned so the comparison is like-for-like.
+    """
+    rng = np.random.default_rng(5)
+    dataset = make_dataset("normal", 40_000, 3, 16, rng=rng)
+    generator = WorkloadGenerator(3, 16, rng=np.random.default_rng(6))
+    queries = generator.random_workload(40, 2, 0.5)
+    truths = answer_workload(dataset, queries)
+
+    single_maes, sharded_maes = [], []
+    for seed in range(3):
+        single = HDG(1.0, granularities=(8, 4), seed=seed).fit(dataset)
+        single_maes.append(mean_absolute_error(
+            single.answer_workload(queries), truths))
+
+        shard_mechs = [
+            HDG(1.0, granularities=(8, 4), seed=100 + 977 * (seed * n_shards + i))
+            .partial_fit(shard, total_users=dataset.n_users)
+            for i, shard in enumerate(_split(dataset, n_shards))]
+        merged = shard_mechs[0]
+        for other in shard_mechs[1:]:
+            merged.merge(other)
+        merged.finalize()
+        sharded_maes.append(mean_absolute_error(
+            merged.answer_workload(queries), truths))
+
+    single_mae = np.mean(single_maes)
+    sharded_mae = np.mean(sharded_maes)
+    # Same estimator distribution: averaged MAEs agree within a loose factor.
+    assert sharded_mae < 2.0 * single_mae + 0.01
+    assert single_mae < 2.0 * sharded_mae + 0.01
+
+
+def test_incremental_batches_accumulate_on_one_mechanism(small_dataset):
+    shards = _split(small_dataset, 3)
+    mechanism = HDG(1.0, seed=0)
+    for shard in shards:
+        mechanism.partial_fit(shard, total_users=small_dataset.n_users)
+    assert mechanism._total_reports == small_dataset.n_users
+    mechanism.finalize()
+    assert mechanism.is_fitted
+
+
+def test_partial_fit_accepts_single_user_batches():
+    """Tiny (even 1-user) batches must ingest once granularities are known."""
+    rng = np.random.default_rng(0)
+    mechanism = HDG(1.0, granularities=(8, 4), seed=0)
+    for _ in range(5):
+        batch = Dataset(rng.integers(0, 16, size=(1, 3)), 16)
+        mechanism.partial_fit(batch, total_users=5)
+    assert mechanism._total_reports == 5
+    mechanism.finalize()
+    assert mechanism.is_fitted
+
+
+def test_merge_rejects_epsilon_mismatch(tiny_dataset):
+    a = TDG(1.0, seed=0).partial_fit(tiny_dataset)
+    b = TDG(2.0, seed=1).partial_fit(tiny_dataset)
+    with pytest.raises(ValueError, match="privacy budgets"):
+        a.merge(b)
+
+
+def test_merge_rejects_granularity_mismatch(tiny_dataset):
+    a = TDG(1.0, granularity=4, seed=0).partial_fit(tiny_dataset)
+    b = TDG(1.0, granularity=8, seed=1).partial_fit(tiny_dataset)
+    with pytest.raises(ValueError, match="granularity"):
+        a.merge(b)
+
+
+def test_merge_rejects_mechanism_type_mismatch(tiny_dataset):
+    a = TDG(1.0, seed=0).partial_fit(tiny_dataset)
+    b = HDG(1.0, seed=1).partial_fit(tiny_dataset)
+    with pytest.raises(TypeError):
+        a.merge(b)
+
+
+def test_merge_after_finalize_rejected(tiny_dataset):
+    a = TDG(1.0, seed=0).partial_fit(tiny_dataset).finalize()
+    b = TDG(1.0, seed=1).partial_fit(tiny_dataset)
+    with pytest.raises(RuntimeError):
+        a.merge(b)
+
+
+def test_finalize_without_batches_rejected():
+    with pytest.raises(RuntimeError):
+        HDG(1.0, seed=0).finalize()
+
+
+def test_baselines_report_no_sharding_support(tiny_dataset):
+    from repro.baselines import Uniform
+    mechanism = Uniform(1.0, seed=0)
+    assert not mechanism.supports_sharding
+    with pytest.raises(NotImplementedError):
+        mechanism.partial_fit(tiny_dataset)
+
+
+# ----------------------------------------------------------------------
+# ShardAggregator
+# ----------------------------------------------------------------------
+def test_shard_aggregator_end_to_end(small_dataset, workload_2d):
+    shards = _split(small_dataset, 2)
+    aggregators = [
+        ShardAggregator("HDG", epsilon=1.0, total_users=small_dataset.n_users,
+                        seed=i).add_batch(shard)
+        for i, shard in enumerate(shards)]
+    merged = merge_aggregators(aggregators)
+    assert merged.n_reports == small_dataset.n_users
+    mechanism = merged.finalize()
+    truths = answer_workload(small_dataset, workload_2d)
+    mae = mean_absolute_error(mechanism.answer_workload(workload_2d), truths)
+    assert mae < 0.15
+
+
+def test_shard_aggregator_accepts_raw_arrays(tiny_dataset):
+    aggregator = ShardAggregator("TDG", epsilon=1.0, seed=0)
+    aggregator.add_batch(tiny_dataset.values, domain_size=tiny_dataset.domain_size)
+    assert aggregator.n_reports == tiny_dataset.n_users
+    with pytest.raises(ValueError):
+        aggregator.add_batch(tiny_dataset.values)  # domain_size required
+
+
+def test_shard_aggregator_rejects_unknown_mechanism():
+    with pytest.raises(ValueError, match="non-shardable"):
+        ShardAggregator("Uni", epsilon=1.0)
+
+
+def test_shard_aggregator_single_use(tiny_dataset):
+    aggregator = ShardAggregator("TDG", epsilon=1.0, seed=0)
+    aggregator.add_batch(tiny_dataset)
+    aggregator.finalize()
+    with pytest.raises(RuntimeError):
+        aggregator.add_batch(tiny_dataset)
+    with pytest.raises(RuntimeError):
+        aggregator.finalize()
+
+
+@pytest.mark.parametrize("mechanism", ["TDG", "HDG"])
+def test_shard_state_json_roundtrip(tmp_path, tiny_dataset, mechanism):
+    aggregator = ShardAggregator(mechanism, epsilon=1.0, seed=3)
+    aggregator.add_batch(tiny_dataset)
+    path = aggregator.save(tmp_path / "shard.json")
+    restored = ShardAggregator.load(path)
+    assert restored.n_reports == aggregator.n_reports
+    state, restored_state = aggregator.state_dict(), restored.state_dict()
+    assert restored_state == state
+    # The restored aggregator finalises into a working mechanism.
+    restored.finalize()
+    assert restored.mechanism.is_fitted
+
+
+def test_state_dict_rejects_wrong_format():
+    with pytest.raises(ValueError, match="format"):
+        ShardAggregator.from_state_dict({"format": "something-else"})
+
+
+# ----------------------------------------------------------------------
+# parallel_fit
+# ----------------------------------------------------------------------
+def test_shard_dataset_partitions_users(small_dataset):
+    shards = shard_dataset(small_dataset, 4)
+    assert sum(shard.n_users for shard in shards) == small_dataset.n_users
+    assert np.array_equal(np.vstack([s.values for s in shards]),
+                          small_dataset.values)
+
+
+def test_parallel_fit_uses_two_workers_concurrently(tiny_dataset):
+    """Both pool workers must be inside partial_fit at the same time."""
+    barrier = threading.Barrier(2, timeout=30)
+
+    class SynchronisedTDG(TDG):
+        def _partial_fit(self, dataset, total_users):
+            barrier.wait()
+            super()._partial_fit(dataset, total_users)
+
+    report = ParallelFitReport(n_shards=0, max_workers=0)
+    mechanism = parallel_fit(lambda i: SynchronisedTDG(1.0, seed=i),
+                             tiny_dataset, n_shards=2, max_workers=2,
+                             report=report)
+    assert mechanism.is_fitted
+    assert report.max_workers == 2
+    assert report.n_workers_used == 2
+    assert sum(report.shard_sizes) == tiny_dataset.n_users
+
+
+def test_parallel_fit_report_carries_premerge_shard_states(tiny_dataset):
+    report = ParallelFitReport(n_shards=0, max_workers=0)
+    mechanism = parallel_fit(lambda i: TDG(1.0, seed=i), tiny_dataset,
+                             n_shards=3, report=report)
+    assert len(report.shard_states) == 3
+    assert sum(state["total_reports"] for state in report.shard_states) \
+        == tiny_dataset.n_users
+    # The saved states rebuild aggregators that merge into the same counts
+    # the returned mechanism was finalised from.
+    aggregators = [ShardAggregator.from_state_dict(
+        {**state, "format": "repro.shard-state", "version": 1})
+        for state in report.shard_states]
+    rebuilt = merge_aggregators(aggregators).finalize()
+    for pair in mechanism.grids:
+        assert np.array_equal(mechanism.grids[pair].frequencies,
+                              rebuilt.grids[pair].frequencies)
+
+
+def test_shard_seed_never_collides_with_base():
+    from repro.pipeline import shard_seed
+    assert shard_seed(0, 0) != 0
+    assert len({shard_seed(0, i) for i in range(100)}) == 100
+
+
+def test_parallel_fit_deterministic_for_fixed_seeds(tiny_dataset):
+    def factory(index):
+        return HDG(1.0, seed=50 + 977 * index)
+
+    first = parallel_fit(factory, tiny_dataset, n_shards=3, max_workers=2)
+    second = parallel_fit(factory, tiny_dataset, n_shards=3, max_workers=2)
+    for pair in first.response_matrices:
+        assert np.array_equal(first.response_matrices[pair],
+                              second.response_matrices[pair])
+
+
+def test_parallel_fit_rejects_non_shardable(tiny_dataset):
+    from repro.baselines import Uniform
+    with pytest.raises(ValueError, match="sharded"):
+        parallel_fit(lambda i: Uniform(1.0, seed=i), tiny_dataset, n_shards=2)
+
+
+# ----------------------------------------------------------------------
+# Runner integration
+# ----------------------------------------------------------------------
+def test_run_experiment_with_shards():
+    config = ExperimentConfig(dataset="normal", n_users=8_000, n_attributes=3,
+                              domain_size=16, epsilon=1.0, query_dimension=2,
+                              volume=0.5, n_queries=15, n_repeats=1,
+                              methods=("Uni", "HDG"), seed=0,
+                              n_shards=2, shard_workers=2)
+    result = run_experiment(config)
+    assert set(result.methods) == {"Uni", "HDG"}
+    # Uni has no sharding support and silently falls back to fit().
+    assert result.methods["Uni"].mae.mean >= 0
+    assert result.methods["HDG"].mae.mean < 0.1
+
+
+def test_run_experiment_sharded_is_deterministic():
+    config = ExperimentConfig(dataset="normal", n_users=6_000, n_attributes=3,
+                              domain_size=16, epsilon=1.0, query_dimension=2,
+                              volume=0.5, n_queries=10, n_repeats=1,
+                              methods=("HDG",), seed=1, n_shards=3)
+    first = run_experiment(config)
+    second = run_experiment(config)
+    assert first.mae_of("HDG") == pytest.approx(second.mae_of("HDG"))
+
+
+def test_config_validates_shard_fields():
+    config = ExperimentConfig(n_shards=0)
+    with pytest.raises(ValueError, match="n_shards"):
+        config.validate()
+    config = ExperimentConfig(shard_workers=0)
+    with pytest.raises(ValueError, match="shard_workers"):
+        config.validate()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Offline link checker for the markdown documentation.
+
+Verifies that every relative link/image target in the given markdown
+files (or all ``*.md`` under given directories) resolves to an existing
+file or directory.  External URLs and pure in-page anchors are skipped —
+the check must work offline in CI.
+
+Usage: python tools/check_doc_links.py README.md docs
+Exit status is non-zero when any link is broken.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links/images: [text](target) — reference-style links
+#: are not used in this repository.
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def collect_files(arguments: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    for target in LINK_PATTERN.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: broken link -> {target}")
+    return errors
+
+
+def main(arguments: list[str]) -> int:
+    files = collect_files(arguments or ["README.md", "docs"])
+    missing = [str(f) for f in files if not f.exists()]
+    errors = [f"no such file: {name}" for name in missing]
+    for path in files:
+        if path.exists():
+            errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    checked = len(files) - len(missing)
+    print(f"checked {checked} markdown file(s): "
+          f"{'OK' if not errors else f'{len(errors)} problem(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
