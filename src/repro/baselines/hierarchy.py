@@ -62,6 +62,10 @@ class IntervalHierarchy:
             size //= self.branching
             height += 1
         self.height = height
+        # Workloads re-decompose the same handful of intervals over and
+        # over (every unrestricted attribute decomposes to the root), so
+        # the canonical covers are memoised per interval.
+        self._decompose_cache: dict[tuple[int, int], list[HierarchyNode]] = {}
 
     # ------------------------------------------------------------------
     # Geometry
@@ -107,9 +111,13 @@ class IntervalHierarchy:
         """
         if not 0 <= low <= high < self.domain_size:
             raise ValueError(f"invalid interval [{low}, {high}]")
-        cover: list[HierarchyNode] = []
-        self._cover(self.node(0, 0), low, high, cover)
-        return cover
+        key = (int(low), int(high))
+        cached = self._decompose_cache.get(key)
+        if cached is None:
+            cached = []
+            self._cover(self.node(0, 0), low, high, cached)
+            self._decompose_cache[key] = cached
+        return list(cached)
 
     def _cover(self, node: HierarchyNode, low: int, high: int,
                out: list[HierarchyNode]) -> None:

@@ -178,7 +178,42 @@ class HIO(RangeQueryMechanism):
             else:
                 low, high = 0, self.hierarchy.domain_size - 1
             decompositions.append(self.hierarchy.decompose(low, high))
+        if self.use_legacy_answering:
+            answer = 0.0
+            for combination in product(*decompositions):
+                answer += self._interval_frequency(tuple(combination))
+            return answer
+        return self._answer_bucketed(decompositions)
+
+    def _answer_bucketed(self, decompositions: list[list[HierarchyNode]]) -> float:
+        """Sum node combinations with one vectorised gather per d-dim level.
+
+        Combinations living in a materialised level are collected into
+        per-level index buckets and summed with a single fancy-indexed
+        lookup; combinations of over-limit levels keep the lazy noisy
+        path.  Both first-time level materialisations and lazy draws
+        happen at the same iteration points as the legacy per-combination
+        loop, so the RNG stream — and therefore every answer — matches
+        the legacy path from a fresh fitted state, not just after the
+        caches are warm.
+        """
+        assert self.hierarchy is not None
         answer = 0.0
+        buckets: dict[tuple[int, ...], list[tuple[int, ...]]] = {}
         for combination in product(*decompositions):
-            answer += self._interval_frequency(tuple(combination))
+            level = tuple(node.level for node in combination)
+            if self._level_size(level) <= self.materialize_limit:
+                if level not in self._materialized:
+                    self._materialized[level] = self._materialize_level(level)
+                buckets.setdefault(level, []).append(
+                    tuple(node.index for node in combination))
+            else:
+                answer += self._interval_frequency(tuple(combination))
+        for level, index_tuples in buckets.items():
+            indices = np.asarray(index_tuples, dtype=np.int64)
+            flat = np.zeros(indices.shape[0], dtype=np.int64)
+            for axis, one_dim_level in enumerate(level):
+                flat = (flat * self.hierarchy.nodes_at_level(one_dim_level)
+                        + indices[:, axis])
+            answer += float(self._materialized[level][flat].sum())
         return answer

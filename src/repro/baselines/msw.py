@@ -44,6 +44,7 @@ class MSW(RangeQueryMechanism):
         self.em_iterations = int(em_iterations)
         self.smoothing = bool(smoothing)
         self.distributions: dict[int, np.ndarray] = {}
+        self._prefixes: dict[int, np.ndarray] = {}
 
     def _fit(self, dataset: Dataset) -> None:
         d = dataset.n_attributes
@@ -59,10 +60,36 @@ class MSW(RangeQueryMechanism):
                                 smoothing=self.smoothing)
             estimate = oracle.estimate_frequencies(dataset.column(attribute)[group])
             self.distributions[attribute] = estimate
+        # Prefix sums turn each per-attribute interval mass into one
+        # subtraction, for both single answers and batched workloads.
+        self._prefixes = {
+            attribute: np.concatenate(([0.0], np.cumsum(distribution)))
+            for attribute, distribution in self.distributions.items()}
+
+    def _interval_mass(self, attribute: int, low: int, high: int) -> float:
+        prefix = self._prefixes[attribute]
+        return float(prefix[high + 1] - prefix[low])
 
     def _answer(self, query: RangeQuery) -> float:
+        if self.use_legacy_answering:
+            answer = 1.0
+            for predicate in query.predicates:
+                distribution = self.distributions[predicate.attribute]
+                answer *= float(
+                    distribution[predicate.low:predicate.high + 1].sum())
+            return answer
         answer = 1.0
         for predicate in query.predicates:
-            distribution = self.distributions[predicate.attribute]
-            answer *= float(distribution[predicate.low:predicate.high + 1].sum())
+            answer *= self._interval_mass(predicate.attribute, predicate.low,
+                                          predicate.high)
         return answer
+
+    def _answer_workload(self, queries: list[RangeQuery]) -> np.ndarray:
+        """Product of per-predicate prefix differences, one vectorised pass."""
+        masses = np.array([self._interval_mass(predicate.attribute,
+                                               predicate.low, predicate.high)
+                           for query in queries
+                           for predicate in query.predicates])
+        counts = np.array([query.dimension for query in queries])
+        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        return np.multiply.reduceat(masses, offsets)

@@ -9,6 +9,8 @@ noise without adding information.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..datasets import Dataset
 from ..queries import RangeQuery
 from ..core.base import RangeQueryMechanism
@@ -30,3 +32,12 @@ class Uniform(RangeQueryMechanism):
     def _answer(self, query: RangeQuery) -> float:
         assert self._domain_size is not None
         return query.volume(self._domain_size)
+
+    def _answer_workload(self, queries: list[RangeQuery]) -> np.ndarray:
+        """All volumes in one vectorised pass over the flattened predicates."""
+        assert self._domain_size is not None
+        widths = np.array([predicate.width for query in queries
+                           for predicate in query.predicates], dtype=float)
+        counts = np.array([query.dimension for query in queries])
+        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        return np.multiply.reduceat(widths / self._domain_size, offsets)

@@ -48,6 +48,12 @@ class RangeQueryMechanism(abc.ABC):
     #: Short name used in experiment tables (overridden by subclasses).
     name: str = "mechanism"
 
+    #: When True, ``answer``/``answer_workload`` bypass the vectorised
+    #: prefix-sum engine and run the original per-query/per-cell code
+    #: paths.  Exists for benchmarking and for property-testing the
+    #: engine against its ground truth; production callers leave it off.
+    use_legacy_answering: bool = False
+
     def __init__(self, epsilon: float, seed: int | None = None):
         if epsilon <= 0:
             raise ValueError(f"epsilon must be positive, got {epsilon}")
@@ -180,8 +186,28 @@ class RangeQueryMechanism(abc.ABC):
         """Mechanism-specific answering logic."""
 
     def answer_workload(self, queries: list[RangeQuery]) -> np.ndarray:
-        """Estimated answers for a list of queries."""
-        return np.array([self.answer(query) for query in queries])
+        """Estimated answers for a list of queries.
+
+        Queries are validated up front and then handed to the
+        mechanism's batch engine (``_answer_workload``), which groups
+        them by dimension/attribute set and answers whole groups with
+        vectorised prefix-sum lookups where the mechanism supports it.
+        With ``use_legacy_answering`` set, every query instead goes
+        through the original one-at-a-time path.
+        """
+        self._require_fitted()
+        queries = list(queries)
+        for query in queries:
+            self._validate_query(query)
+        if not queries:
+            return np.empty(0)
+        if self.use_legacy_answering:
+            return np.array([float(self._answer(query)) for query in queries])
+        return np.asarray(self._answer_workload(queries), dtype=float)
+
+    def _answer_workload(self, queries: list[RangeQuery]) -> np.ndarray:
+        """Batch answering hook; defaults to the per-query loop."""
+        return np.array([float(self._answer(query)) for query in queries])
 
     # ------------------------------------------------------------------
     # Validation helpers

@@ -10,10 +10,20 @@ grids) — and yields closed forms for the 1-D granularity ``g1`` and the
 
 where ``n_i`` / ``m_i`` are the number of users / user groups dedicated to
 i-D grids and ``alpha1 = 0.7``, ``alpha2 = 0.03`` are the recommended
-dataset-independent constants.  The derived values are rounded to the
-closest power of two (so they divide the power-of-two domain ``c``),
-floored at 2 and capped at ``c``.  Table 2 of the paper tabulates the
-resulting choices; the test suite checks this module against that table.
+dataset-independent constants.  The derived values are snapped to the
+nearest *divisor* of the domain size ``c`` (floored at 2, capped at
+``c``) so the grids always tile the domain exactly; for the paper's
+power-of-two domains the divisors are the powers of two and the choice
+coincides with the paper's rounding, but arbitrary domain sizes (100,
+96, ...) now work instead of failing the grids' divisibility check.
+``g1`` is additionally restricted to multiples of ``g2`` so Phase 2's
+consistency buckets align.  Table 2 of the paper tabulates the resulting
+choices; the test suite checks this module against that table.
+
+Degenerate populations are handled rather than crashing: with fewer than
+two users (or a user split that starves one grid family) the affected
+granularities fall back to their minimum instead of evaluating the
+guideline formulas on an empty group.
 """
 
 from __future__ import annotations
@@ -43,6 +53,36 @@ def nearest_power_of_two(value: float, minimum: int = 2,
     if maximum is not None:
         chosen = min(chosen, maximum)
     return chosen
+
+
+def nearest_divisor(value: float, domain_size: int, minimum: int = 2,
+                    multiple_of: int = 1) -> int:
+    """Divisor of ``domain_size`` closest to ``value`` (absolute distance).
+
+    Only divisors that are multiples of ``multiple_of`` (itself expected
+    to divide ``domain_size``) are considered; candidates below
+    ``minimum`` are excluded when larger ones exist.  Ties go to the
+    smaller divisor, matching :func:`nearest_power_of_two` — for
+    power-of-two domains the two functions agree, because the divisors
+    of a power of two are exactly the smaller powers of two.
+    """
+    if domain_size < 1:
+        raise ValueError("domain_size must be positive")
+    if multiple_of < 1 or domain_size % multiple_of != 0:
+        raise ValueError(
+            f"multiple_of ({multiple_of}) must divide the domain size "
+            f"({domain_size})")
+    candidates = [d * multiple_of for d in range(1, domain_size // multiple_of + 1)
+                  if domain_size % (d * multiple_of) == 0]
+    preferred = [d for d in candidates if d >= minimum]
+    if preferred:
+        candidates = preferred
+    return min(candidates, key=lambda d: (abs(d - value), d))
+
+
+def minimum_granularity(domain_size: int, minimum: int = 2) -> int:
+    """Smallest admissible granularity: the least divisor of ``c`` >= 2."""
+    return nearest_divisor(0.0, domain_size, minimum=minimum)
 
 
 def raw_g1(epsilon: float, n1: float, m1: float,
@@ -82,13 +122,23 @@ def default_user_split(n_users: int, n_attributes: int) -> tuple[int, int, int, 
     Returns ``(n1, n2, m1, m2)`` where ``m1 = d``, ``m2 = C(d,2)`` and the
     user counts are proportional to the group counts, so every group has
     the same population (the paper's default, σ0 = d / (d + C(d,2))).
+
+    Both sides are clamped to at least one user whenever the population
+    allows it (``n_users >= 2``); tiny populations that cannot feed both
+    grid families yield a zero count on one side, which the guideline
+    resolves by falling back to minimum granularities there.
     """
     if n_attributes < 2:
         raise ValueError("HDG needs at least 2 attributes")
+    if n_users < 0:
+        raise ValueError("n_users must be non-negative")
     m1 = n_attributes
     m2 = n_attributes * (n_attributes - 1) // 2
     n1 = int(round(n_users * m1 / (m1 + m2)))
-    n1 = min(max(n1, 1), n_users - 1)
+    if n_users >= 2:
+        n1 = min(max(n1, 1), n_users - 1)
+    else:
+        n1 = min(max(n1, 0), n_users)
     n2 = n_users - n1
     return n1, n2, m1, m2
 
@@ -111,15 +161,26 @@ def choose_granularities_hdg(epsilon: float, n_users: int, n_attributes: int,
             raise ValueError(f"sigma must be in (0, 1), got {sigma}")
         m1 = n_attributes
         m2 = n_attributes * (n_attributes - 1) // 2
-        n1 = min(max(int(round(n_users * sigma)), 1), n_users - 1)
+        n1 = int(round(n_users * sigma))
+        if n_users >= 2:
+            n1 = min(max(n1, 1), n_users - 1)
+        else:
+            n1 = min(max(n1, 0), n_users)
         n2 = n_users - n1
-    g1 = nearest_power_of_two(raw_g1(epsilon, n1, m1, alpha1),
-                              minimum=2, maximum=domain_size)
-    g2 = nearest_power_of_two(raw_g2(epsilon, n2, m2, alpha2),
-                              minimum=2, maximum=domain_size)
-    # The consistency step groups 1-D cells into g2 buckets, so g1 must be a
-    # (power-of-two) multiple of g2.
-    g1 = max(g1, g2)
+    # An empty group (possible only for n_users < 2) cannot evaluate the
+    # guideline formula; it gets the minimum granularity instead.
+    if n2 >= 1:
+        g2 = nearest_divisor(raw_g2(epsilon, n2, m2, alpha2), domain_size,
+                             minimum=2)
+    else:
+        g2 = minimum_granularity(domain_size)
+    # The consistency step groups 1-D cells into g2 buckets, so g1 must be
+    # a multiple of g2 (and still divide the domain).
+    if n1 >= 1:
+        g1 = nearest_divisor(raw_g1(epsilon, n1, m1, alpha1), domain_size,
+                             minimum=2, multiple_of=g2)
+    else:
+        g1 = g2
     return GranularityChoice(g1=g1, g2=g2, n1=n1, n2=n2, m1=m1, m2=m2)
 
 
@@ -130,8 +191,11 @@ def choose_granularity_tdg(epsilon: float, n_users: int, n_attributes: int,
     if n_attributes < 2:
         raise ValueError("TDG needs at least 2 attributes")
     m2 = n_attributes * (n_attributes - 1) // 2
-    g2 = nearest_power_of_two(raw_g2(epsilon, n_users, m2, alpha2),
-                              minimum=2, maximum=domain_size)
+    if n_users >= 1:
+        g2 = nearest_divisor(raw_g2(epsilon, n_users, m2, alpha2), domain_size,
+                             minimum=2)
+    else:
+        g2 = minimum_granularity(domain_size)
     return GranularityChoice(g1=0, g2=g2, n1=0, n2=n_users, m1=0, m2=m2)
 
 

@@ -7,6 +7,15 @@ stores the resulting noisy cell frequencies.  Grids also implement the
 range-answering primitives of Phase 3: summing fully-covered cells and
 estimating partially-covered cells either under the uniformity assumption
 (TDG) or from a response matrix (HDG).
+
+Range answering runs on prefix-sum indexes (:mod:`repro.core.prefix_sum`)
+that are built lazily from the current frequencies and invalidated by
+every mutation through the grid API; each answer is then O(1) corner
+lookups instead of a Python cell loop, and the ``answer_ranges`` batch
+entry points answer whole query groups in one vectorised call.  The
+original cell loops survive as ``answer_range_loop`` — they are the
+ground truth the engine is property-tested against and the baseline the
+throughput benchmark measures.
 """
 
 from __future__ import annotations
@@ -14,6 +23,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..frequency_oracles import FrequencyOracle, SupportAccumulator
+from .prefix_sum import (PrefixIndex1D, PrefixIndex2D, SummedAreaTable,
+                         full_cell_range)
 
 
 def _check_divisible(domain_size: int, granularity: int) -> int:
@@ -46,7 +57,39 @@ class Grid1D:
         self.domain_size = int(domain_size)
         self.granularity = int(granularity)
         self.cell_width = _check_divisible(self.domain_size, self.granularity)
-        self.frequencies = np.zeros(self.granularity)
+        self._frequencies = np.zeros(self.granularity)
+        self._index: PrefixIndex1D | None = None
+
+    # ------------------------------------------------------------------
+    # Prefix-sum index
+    # ------------------------------------------------------------------
+    @property
+    def frequencies(self) -> np.ndarray:
+        """Cell frequencies (read-only view).
+
+        Exposed read-only because answering runs on a prefix-sum index
+        derived from these values; silent in-place edits would serve
+        stale answers.  Use :meth:`set_frequencies` to replace them or
+        :meth:`mutable_frequencies` for in-place post-processing.
+        """
+        view = self._frequencies.view()
+        view.flags.writeable = False
+        return view
+
+    def mutable_frequencies(self) -> np.ndarray:
+        """Writable handle for in-place post-processing (drops the index)."""
+        self.invalidate_index()
+        return self._frequencies
+
+    def invalidate_index(self) -> None:
+        """Drop the prefix-sum index (call after mutating ``frequencies``)."""
+        self._index = None
+
+    def build_index(self) -> PrefixIndex1D:
+        """Prefix-sum index over the current frequencies (cached)."""
+        if self._index is None:
+            self._index = PrefixIndex1D(self._frequencies, self.cell_width)
+        return self._index
 
     # ------------------------------------------------------------------
     # Cell geometry
@@ -72,7 +115,8 @@ class Grid1D:
                 f"oracle domain {oracle.domain_size} does not match grid "
                 f"granularity {self.granularity}")
         cells = self.cell_index(values)
-        self.frequencies = oracle.estimate_frequencies(cells)
+        self._frequencies = oracle.estimate_frequencies(cells)
+        self.invalidate_index()
 
     def accumulate(self, values: np.ndarray,
                    oracle: FrequencyOracle) -> SupportAccumulator:
@@ -95,10 +139,11 @@ class Grid1D:
         An empty accumulator (``None`` or zero reports) leaves the grid
         all-zero, matching the one-shot behaviour for empty user groups.
         """
+        self.invalidate_index()
         if accumulator is None or accumulator.n_reports == 0:
-            self.frequencies = np.zeros(self.granularity)
+            self._frequencies = np.zeros(self.granularity)
             return
-        self.frequencies = oracle.estimate_from_accumulator(accumulator)
+        self._frequencies = oracle.estimate_from_accumulator(accumulator)
 
     def set_frequencies(self, frequencies: np.ndarray) -> None:
         """Directly set cell frequencies (used by tests and post-processing)."""
@@ -106,7 +151,8 @@ class Grid1D:
         if frequencies.shape != (self.granularity,):
             raise ValueError(
                 f"expected shape ({self.granularity},), got {frequencies.shape}")
-        self.frequencies = frequencies.copy()
+        self._frequencies = frequencies.copy()
+        self.invalidate_index()
 
     # ------------------------------------------------------------------
     # Answering
@@ -115,13 +161,27 @@ class Grid1D:
         """1-D range answer with the uniformity assumption inside cells."""
         if not 0 <= low <= high < self.domain_size:
             raise ValueError(f"invalid interval [{low}, {high}]")
+        return float(self.build_index().answer(low, high))
+
+    def answer_ranges(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """Vectorised range answers for arrays of inclusive intervals.
+
+        Intervals are assumed valid (the mechanisms validate queries
+        before batching).
+        """
+        return np.asarray(self.build_index().answer(lows, highs), dtype=float)
+
+    def answer_range_loop(self, low: int, high: int) -> float:
+        """Original per-cell loop (benchmark baseline and engine ground truth)."""
+        if not 0 <= low <= high < self.domain_size:
+            raise ValueError(f"invalid interval [{low}, {high}]")
         answer = 0.0
         first_cell = low // self.cell_width
         last_cell = high // self.cell_width
         for cell in range(first_cell, last_cell + 1):
             cell_low, cell_high = self.cell_bounds(cell)
             overlap = min(high, cell_high) - max(low, cell_low) + 1
-            answer += self.frequencies[cell] * overlap / self.cell_width
+            answer += self._frequencies[cell] * overlap / self.cell_width
         return float(answer)
 
 
@@ -147,7 +207,33 @@ class Grid2D:
         self.domain_size = int(domain_size)
         self.granularity = int(granularity)
         self.cell_width = _check_divisible(self.domain_size, self.granularity)
-        self.frequencies = np.zeros((self.granularity, self.granularity))
+        self._frequencies = np.zeros((self.granularity, self.granularity))
+        self._index: PrefixIndex2D | None = None
+
+    # ------------------------------------------------------------------
+    # Prefix-sum index
+    # ------------------------------------------------------------------
+    @property
+    def frequencies(self) -> np.ndarray:
+        """Cell frequencies (read-only view; see :class:`Grid1D`)."""
+        view = self._frequencies.view()
+        view.flags.writeable = False
+        return view
+
+    def mutable_frequencies(self) -> np.ndarray:
+        """Writable handle for in-place post-processing (drops the index)."""
+        self.invalidate_index()
+        return self._frequencies
+
+    def invalidate_index(self) -> None:
+        """Drop the prefix-sum index (call after mutating ``frequencies``)."""
+        self._index = None
+
+    def build_index(self) -> PrefixIndex2D:
+        """Prefix-sum index over the current frequencies (cached)."""
+        if self._index is None:
+            self._index = PrefixIndex2D(self._frequencies, self.cell_width)
+        return self._index
 
     # ------------------------------------------------------------------
     # Cell geometry
@@ -180,7 +266,8 @@ class Grid2D:
                 f"count {n_cells}")
         cells = self.cell_index(values_pair)
         flat = oracle.estimate_frequencies(cells)
-        self.frequencies = flat.reshape(self.granularity, self.granularity)
+        self._frequencies = flat.reshape(self.granularity, self.granularity)
+        self.invalidate_index()
 
     def accumulate(self, values_pair: np.ndarray,
                    oracle: FrequencyOracle) -> SupportAccumulator:
@@ -195,11 +282,12 @@ class Grid2D:
     def finalize_from(self, accumulator: SupportAccumulator | None,
                       oracle: FrequencyOracle) -> None:
         """Set cell frequencies from merged support counts (see Grid1D)."""
+        self.invalidate_index()
         if accumulator is None or accumulator.n_reports == 0:
-            self.frequencies = np.zeros((self.granularity, self.granularity))
+            self._frequencies = np.zeros((self.granularity, self.granularity))
             return
         flat = oracle.estimate_from_accumulator(accumulator)
-        self.frequencies = flat.reshape(self.granularity, self.granularity)
+        self._frequencies = flat.reshape(self.granularity, self.granularity)
 
     def set_frequencies(self, frequencies: np.ndarray) -> None:
         """Directly set cell frequencies (tests and post-processing)."""
@@ -207,33 +295,106 @@ class Grid2D:
         expected = (self.granularity, self.granularity)
         if frequencies.shape != expected:
             raise ValueError(f"expected shape {expected}, got {frequencies.shape}")
-        self.frequencies = frequencies.copy()
+        self._frequencies = frequencies.copy()
+        self.invalidate_index()
 
     # ------------------------------------------------------------------
     # Answering
     # ------------------------------------------------------------------
     def answer_range(self, interval_row: tuple[int, int],
                      interval_col: tuple[int, int],
-                     response_matrix: np.ndarray | None = None) -> float:
+                     response_matrix: np.ndarray | None = None,
+                     response_index: SummedAreaTable | None = None) -> float:
         """2-D range answer.
 
         Fully covered cells contribute their noisy frequency.  Partially
         covered cells contribute either a uniform-guess share of their
         frequency (``response_matrix=None``, the TDG rule) or the sum of
         the response-matrix entries of the covered 2-D values (the HDG
-        rule, Section 4.1 Phase 3).
+        rule, Section 4.1 Phase 3).  Passing a precomputed
+        ``response_index`` (the matrix's summed-area table) makes the HDG
+        rule O(1); with only the raw matrix the partial mass is taken
+        from two vectorised rectangle sums instead of a cell loop.
         """
         row_low, row_high = interval_row
         col_low, col_high = interval_col
         for low, high in ((row_low, row_high), (col_low, col_high)):
             if not 0 <= low <= high < self.domain_size:
                 raise ValueError(f"invalid interval [{low}, {high}]")
-        if response_matrix is not None:
-            expected = (self.domain_size, self.domain_size)
-            if response_matrix.shape != expected:
-                raise ValueError(
-                    f"response matrix must have shape {expected}, got "
-                    f"{response_matrix.shape}")
+        self._check_response_shape(response_matrix, response_index)
+
+        if response_matrix is None and response_index is None:
+            return float(self.build_index().answer_uniform(
+                row_low, row_high, col_low, col_high))
+        if response_index is not None:
+            return float(self.answer_ranges(
+                np.array([row_low]), np.array([row_high]),
+                np.array([col_low]), np.array([col_high]),
+                response_index=response_index)[0])
+
+        # Raw matrix, no index: the partial-cell mass is the query
+        # rectangle's matrix mass minus the fully-covered block's mass.
+        w = self.cell_width
+        first_row, last_row = full_cell_range(row_low, row_high, w)
+        first_col, last_col = full_cell_range(col_low, col_high, w)
+        answer = float(
+            response_matrix[row_low:row_high + 1, col_low:col_high + 1].sum())
+        if first_row <= last_row and first_col <= last_col:
+            answer += float(
+                self._frequencies[first_row:last_row + 1,
+                                  first_col:last_col + 1].sum())
+            answer -= float(
+                response_matrix[first_row * w:(last_row + 1) * w,
+                                first_col * w:(last_col + 1) * w].sum())
+        return answer
+
+    def answer_ranges(self, row_lows: np.ndarray, row_highs: np.ndarray,
+                      col_lows: np.ndarray, col_highs: np.ndarray,
+                      response_index: SummedAreaTable | None = None) -> np.ndarray:
+        """Vectorised 2-D range answers for arrays of inclusive intervals.
+
+        With ``response_index=None`` every query follows the uniformity
+        rule (TDG); otherwise partially covered cells draw their mass
+        from the response matrix's summed-area table (HDG).  Intervals
+        are assumed valid.
+        """
+        if response_index is None:
+            return np.asarray(self.build_index().answer_uniform(
+                row_lows, row_highs, col_lows, col_highs), dtype=float)
+        w = self.cell_width
+        first_row, last_row = full_cell_range(row_lows, row_highs, w)
+        first_col, last_col = full_cell_range(col_lows, col_highs, w)
+        grid_part = self.build_index().cell_block_sum(first_row, last_row,
+                                                      first_col, last_col)
+        matrix_all = response_index.rect_sum(row_lows, row_highs,
+                                             col_lows, col_highs)
+        matrix_full = response_index.rect_sum(
+            first_row * w, (last_row + 1) * w - 1,
+            first_col * w, (last_col + 1) * w - 1)
+        return np.asarray(grid_part + matrix_all - matrix_full, dtype=float)
+
+    def _check_response_shape(self, response_matrix: np.ndarray | None,
+                              response_index: SummedAreaTable | None) -> None:
+        expected = (self.domain_size, self.domain_size)
+        if response_matrix is not None and response_matrix.shape != expected:
+            raise ValueError(
+                f"response matrix must have shape {expected}, got "
+                f"{response_matrix.shape}")
+        if response_index is not None and response_index.shape != expected:
+            raise ValueError(
+                f"response index must cover shape {expected}, got "
+                f"{response_index.shape}")
+
+    def answer_range_loop(self, interval_row: tuple[int, int],
+                          interval_col: tuple[int, int],
+                          response_matrix: np.ndarray | None = None) -> float:
+        """Original per-cell loop (benchmark baseline and engine ground truth)."""
+        row_low, row_high = interval_row
+        col_low, col_high = interval_col
+        for low, high in ((row_low, row_high), (col_low, col_high)):
+            if not 0 <= low <= high < self.domain_size:
+                raise ValueError(f"invalid interval [{low}, {high}]")
+        self._check_response_shape(response_matrix, None)
 
         answer = 0.0
         first_row = row_low // self.cell_width
@@ -249,10 +410,10 @@ class Grid2D:
                 fully_covered = (overlap_rows == self.cell_width
                                  and overlap_cols == self.cell_width)
                 if fully_covered:
-                    answer += self.frequencies[row, col]
+                    answer += self._frequencies[row, col]
                 elif response_matrix is None:
                     share = overlap_rows * overlap_cols / cell_area
-                    answer += self.frequencies[row, col] * share
+                    answer += self._frequencies[row, col] * share
                 else:
                     r_lo = max(row_low, c_row_low)
                     r_hi = min(row_high, c_row_high)
@@ -266,4 +427,4 @@ class Grid2D:
         """Grid-level marginal of one of the two attributes (sums over the other)."""
         if axis not in (0, 1):
             raise ValueError("axis must be 0 or 1")
-        return self.frequencies.sum(axis=1 - axis)
+        return self._frequencies.sum(axis=1 - axis)

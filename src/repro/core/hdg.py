@@ -33,11 +33,12 @@ from .granularity import (DEFAULT_ALPHA1, DEFAULT_ALPHA2,
                           choose_granularities_hdg)
 from .grid import Grid1D, Grid2D
 from .phase2 import run_phase2
-from .query_estimation import estimate_lambda_query
+from .prefix_sum import SummedAreaTable
+from .query_estimation import PairwiseBatchAnswering, estimate_lambda_query
 from .response_matrix import build_response_matrix
 
 
-class HDG(RangeQueryMechanism):
+class HDG(PairwiseBatchAnswering, RangeQueryMechanism):
     """Hybrid-Dimensional Grids under ε-LDP.
 
     Parameters
@@ -101,6 +102,11 @@ class HDG(RangeQueryMechanism):
         self.grids_1d: dict[int, Grid1D] = {}
         self.grids_2d: dict[tuple[int, int], Grid2D] = {}
         self.response_matrices: dict[tuple[int, int], np.ndarray] = {}
+        #: Per-pair (source matrix, summed-area table) pairs; the source
+        #: reference detects a replaced response matrix so the table is
+        #: rebuilt instead of served stale.
+        self._response_indexes: dict[tuple[int, int],
+                                     tuple[np.ndarray, SummedAreaTable]] = {}
         self.matrix_iteration_history: dict[tuple[int, int], list[float]] = {}
         self.chosen_g1: int | None = None
         self.chosen_g2: int | None = None
@@ -120,6 +126,7 @@ class HDG(RangeQueryMechanism):
         self.grids_1d = {}
         self.grids_2d = {}
         self.response_matrices = {}
+        self._response_indexes = {}
         self.matrix_iteration_history = {}
         self.chosen_g1 = None
         self.chosen_g2 = None
@@ -240,6 +247,7 @@ class HDG(RangeQueryMechanism):
         threshold = min(self.convergence_threshold,
                         1.0 / max(self._total_reports, 1))
         self.response_matrices = {}
+        self._response_indexes = {}
         self.matrix_iteration_history = {}
         for pair, grid in self.grids_2d.items():
             result = build_response_matrix(self.grids_1d[pair[0]],
@@ -249,6 +257,16 @@ class HDG(RangeQueryMechanism):
                                            track_history=True)
             self.response_matrices[pair] = result.matrix
             self.matrix_iteration_history[pair] = result.change_history
+
+        # Precompute the batch engine's lookup tables: prefix-sum indexes
+        # over every grid plus a summed-area table per response matrix.
+        for grid in self.grids_1d.values():
+            grid.build_index()
+        for grid in self.grids_2d.values():
+            grid.build_index()
+        self._response_indexes = {
+            pair: (matrix, SummedAreaTable(matrix))
+            for pair, matrix in self.response_matrices.items()}
 
     # ------------------------------------------------------------------
     # Shard-state serialization (see docs/architecture.md for the schema)
@@ -340,21 +358,76 @@ class HDG(RangeQueryMechanism):
             return (attr_b, attr_a), True
         raise KeyError(f"no grid for attribute pair ({attr_a}, {attr_b})")
 
-    def _answer_pair(self, query: RangeQuery) -> float:
+    def _pair_intervals(self, query: RangeQuery) -> tuple[tuple[int, int],
+                                                          tuple[int, int],
+                                                          tuple[int, int]]:
+        """The grid key of a pair query plus the grid-axis-ordered intervals."""
         attr_a, attr_b = query.attributes
         key, flipped = self._pair_key(attr_a, attr_b)
-        grid = self.grids_2d[key]
-        matrix = self.response_matrices.get(key)
         interval_a = query.interval(attr_a)
         interval_b = query.interval(attr_b)
         if flipped:
             interval_a, interval_b = interval_b, interval_a
-        return grid.answer_range(interval_a, interval_b, response_matrix=matrix)
+        return key, interval_a, interval_b
+
+    def _response_index(self, key: tuple[int, int]) -> SummedAreaTable | None:
+        """The pair's response-matrix summed-area table, built on demand.
+
+        Returning None only when the pair genuinely has no response
+        matrix keeps the batch path on the HDG rule whenever the scalar
+        path would be — a missing or out-of-date cache entry (the pair's
+        matrix was replaced after finalize) is rebuilt, never silently
+        downgraded to the uniformity rule or served stale.
+        """
+        matrix = self.response_matrices.get(key)
+        if matrix is None:
+            return None
+        entry = self._response_indexes.get(key)
+        if entry is None or entry[0] is not matrix:
+            entry = (matrix, SummedAreaTable(matrix))
+            self._response_indexes[key] = entry
+        return entry[1]
+
+    def _answer_pair(self, query: RangeQuery) -> float:
+        key, interval_a, interval_b = self._pair_intervals(query)
+        grid = self.grids_2d[key]
+        if self.use_legacy_answering:
+            return grid.answer_range_loop(interval_a, interval_b,
+                                          self.response_matrices.get(key))
+        return grid.answer_range(interval_a, interval_b,
+                                 response_matrix=self.response_matrices.get(key),
+                                 response_index=self._response_index(key))
 
     def _answer_single(self, query: RangeQuery) -> float:
         attribute = query.attributes[0]
         low, high = query.interval(attribute)
-        return self.grids_1d[attribute].answer_range(low, high)
+        grid = self.grids_1d[attribute]
+        if self.use_legacy_answering:
+            return grid.answer_range_loop(low, high)
+        return grid.answer_range(low, high)
+
+    # ------------------------------------------------------------------
+    # Batch engine
+    # ------------------------------------------------------------------
+    def _answer_interval_pairs_batched(self, entries) -> np.ndarray:
+        """Grouped, vectorised corner lookups through the response SATs."""
+        return self._grid_interval_pairs_batched(entries, self.grids_2d,
+                                                 self._response_index)
+
+    def _answer_singles_batched(self, queries: list[RangeQuery]) -> np.ndarray:
+        """Batch 1-D answers from the fine-grained 1-D grids."""
+        answers = np.empty(len(queries))
+        by_attribute: dict[int, list[tuple[int, int, int]]] = {}
+        for position, query in enumerate(queries):
+            attribute = query.attributes[0]
+            low, high = query.interval(attribute)
+            by_attribute.setdefault(attribute, []).append((position, low, high))
+        for attribute, entries in by_attribute.items():
+            positions = np.array([entry[0] for entry in entries])
+            lows = np.array([entry[1] for entry in entries])
+            highs = np.array([entry[2] for entry in entries])
+            answers[positions] = self.grids_1d[attribute].answer_ranges(lows, highs)
+        return answers
 
     def _answer(self, query: RangeQuery) -> float:
         if query.dimension == 1:

@@ -20,8 +20,9 @@ from typing import Callable
 
 import numpy as np
 
-from ..estimation import Constraint, max_entropy_estimate, weighted_update
-from ..queries import RangeQuery
+from ..estimation import (Constraint, max_entropy_estimate, weighted_update,
+                          weighted_update_batch)
+from ..queries import Predicate, RangeQuery
 
 #: Signature of the callable that answers an associated 2-D sub-query.
 PairAnswerFn = Callable[[RangeQuery], float]
@@ -130,3 +131,193 @@ def estimate_lambda_query(query: RangeQuery, answer_pair: PairAnswerFn,
             f"method must be 'weighted_update' or 'max_entropy', got {method!r}")
 
     return (answer, history) if track_history else answer
+
+
+class PairwiseBatchAnswering:
+    """Mixin: batched workload answering for pair-decomposable mechanisms.
+
+    Mechanisms that answer 1-D/2-D queries directly and λ > 2 queries by
+    combining 2-D sub-answers (TDG, HDG, LHIO) mix this in and provide
+    :meth:`_answer_singles_batched` plus either a 2-D batch entry point
+    (:meth:`_answer_pairs_batched` / :meth:`_answer_interval_pairs_batched`,
+    grid mechanisms delegate to :meth:`_grid_interval_pairs_batched`) or
+    just a scalar ``_answer_pair`` for the default per-query fallback.
+    The mixin partitions a workload by query dimension, answers each
+    class through the vectorised primitives and runs Algorithm 2 as one
+    batched NumPy iteration per distinct λ.
+    """
+
+    #: Combiner for λ > 2 queries; set by the mechanism constructor.
+    estimation_method: str = "weighted_update"
+    #: Iteration cap for Algorithm 2; set by the mechanism constructor.
+    estimation_iterations: int = 100
+
+    def _answer_pairs_batched(self, queries: list[RangeQuery]) -> np.ndarray:
+        """Batch 2-D answers; defaults to the interval-tuple entry point."""
+        return self._answer_interval_pairs_batched(
+            [(query.predicates[0].attribute, query.predicates[1].attribute,
+              (query.predicates[0].low, query.predicates[0].high),
+              (query.predicates[1].low, query.predicates[1].high))
+             for query in queries])
+
+    def _answer_singles_batched(self, queries: list[RangeQuery]) -> np.ndarray:
+        raise NotImplementedError
+
+    def _answer_interval_pairs_batched(self, entries) -> np.ndarray:
+        """Batch 2-D answers from raw ``(attr_a, attr_b, interval_a,
+        interval_b)`` tuples.
+
+        The λ > 2 path decomposes every query into C(λ,2) 2-D lookups;
+        going through tuples instead of :class:`RangeQuery` sub-objects
+        skips thousands of dataclass constructions per workload.  The
+        default materialises the sub-queries one by one; grid mechanisms
+        override with :meth:`_grid_interval_pairs_batched`.
+        """
+        return np.array([
+            self._answer_pair(RangeQuery((Predicate(attr_a, *interval_a),
+                                          Predicate(attr_b, *interval_b))))
+            for attr_a, attr_b, interval_a, interval_b in entries])
+
+    def _grid_interval_pairs_batched(self, entries, grids,
+                                     response_index_for) -> np.ndarray:
+        """Shared grouped implementation over a dict of 2-D grids.
+
+        ``grids`` maps ordered attribute pairs to :class:`Grid2D`;
+        entries whose pair is stored in the flipped orientation get their
+        intervals swapped.  ``response_index_for(key)`` supplies the
+        optional summed-area table of the pair's response matrix (HDG).
+        """
+        answers = np.empty(len(entries))
+        by_grid: dict[tuple[int, int], list[tuple[int, tuple, tuple]]] = {}
+        for position, (attr_a, attr_b, interval_a, interval_b) in enumerate(entries):
+            key = (attr_a, attr_b)
+            if key not in grids:
+                key = (attr_b, attr_a)
+                interval_a, interval_b = interval_b, interval_a
+            by_grid.setdefault(key, []).append(
+                (position, interval_a, interval_b))
+        for key, group in by_grid.items():
+            positions = np.array([entry[0] for entry in group])
+            rows = np.array([entry[1] for entry in group])
+            cols = np.array([entry[2] for entry in group])
+            answers[positions] = grids[key].answer_ranges(
+                rows[:, 0], rows[:, 1], cols[:, 0], cols[:, 1],
+                response_index=response_index_for(key))
+        return answers
+
+    def _answer_workload(self, queries: list[RangeQuery]) -> np.ndarray:
+        answers = np.empty(len(queries))
+        singles: list[int] = []
+        pairs: list[int] = []
+        multis: list[int] = []
+        for position, query in enumerate(queries):
+            if query.dimension == 1:
+                singles.append(position)
+            elif query.dimension == 2:
+                pairs.append(position)
+            else:
+                multis.append(position)
+
+        if singles:
+            answers[singles] = self._answer_singles_batched(
+                [queries[position] for position in singles])
+        if pairs:
+            answers[pairs] = self._answer_pairs_batched(
+                [queries[position] for position in pairs])
+        if multis:
+            answers[multis] = self._answer_multis_batched(
+                [queries[position] for position in multis])
+        return answers
+
+    def _answer_multis_batched(self, queries: list[RangeQuery]) -> np.ndarray:
+        """λ > 2 queries: batch the 2-D sub-answers, then Weighted Update."""
+        sub_entries: list[tuple] = []
+        slices: list[tuple[int, int]] = []
+        for query in queries:
+            predicates = query.predicates
+            start = len(sub_entries)
+            # Same (lexicographic-by-position) order as pairwise_subqueries.
+            for i in range(len(predicates)):
+                for j in range(i + 1, len(predicates)):
+                    sub_entries.append(
+                        (predicates[i].attribute, predicates[j].attribute,
+                         (predicates[i].low, predicates[i].high),
+                         (predicates[j].low, predicates[j].high)))
+            slices.append((start, len(sub_entries) - start))
+        flat_answers = self._answer_interval_pairs_batched(sub_entries)
+        sub_answers = [flat_answers[start:start + count]
+                       for start, count in slices]
+        if self.estimation_method == "weighted_update":
+            return estimate_lambda_queries_batched(
+                queries, sub_answers,
+                max_iterations=self.estimation_iterations)
+        # Other combiners (max entropy) run per query on the batched
+        # sub-answers.
+        answers = np.empty(len(queries))
+        for position, query in enumerate(queries):
+            lookup = dict(zip((sub.attributes
+                               for sub in query.pairwise_subqueries()),
+                              sub_answers[position]))
+            answers[position] = estimate_lambda_query(
+                query, lambda sub: lookup[sub.attributes],
+                method=self.estimation_method,
+                max_iterations=self.estimation_iterations)
+        return answers
+
+
+def lambda_constraint_index_sets(dimension: int) -> list[np.ndarray]:
+    """Algorithm 2's constraint index sets for a λ-D query.
+
+    One set per attribute pair in the order
+    :meth:`~repro.queries.RangeQuery.pairwise_subqueries` produces them
+    (lexicographic by position), followed by the simplex normalisation
+    over all ``2^λ`` orthants — the exact sweep order of
+    :func:`estimate_lambda_query`.
+    """
+    sets = [pair_constraint_indices(dimension, pos_a, pos_b)
+            for pos_a in range(dimension)
+            for pos_b in range(pos_a + 1, dimension)]
+    sets.append(np.arange(1 << dimension, dtype=np.int64))
+    return sets
+
+
+def estimate_lambda_queries_batched(queries: list[RangeQuery],
+                                    sub_answers: list[np.ndarray],
+                                    threshold: float = 1e-7,
+                                    max_iterations: int = 100) -> np.ndarray:
+    """Batched Algorithm 2: estimate many λ-D queries in one NumPy iteration.
+
+    Parameters
+    ----------
+    queries:
+        λ-D queries (λ > 2 each; dimensions may differ between queries).
+    sub_answers:
+        For each query, its ``C(λ,2)`` estimated 2-D sub-answers in
+        :meth:`~repro.queries.RangeQuery.pairwise_subqueries` order.
+    threshold, max_iterations:
+        Convergence controls, matching :func:`estimate_lambda_query`.
+
+    Returns
+    -------
+    numpy.ndarray
+        One estimated answer per query, identical (to floating-point
+        noise) to running :func:`estimate_lambda_query` per query.
+    """
+    answers = np.empty(len(queries))
+    by_dimension: dict[int, list[int]] = {}
+    for position, query in enumerate(queries):
+        if query.dimension <= 2:
+            raise ValueError("batched estimation requires λ > 2 queries")
+        by_dimension.setdefault(query.dimension, []).append(position)
+
+    for dimension, positions in by_dimension.items():
+        index_sets = lambda_constraint_index_sets(dimension)
+        # Targets: the (clipped) pair answers plus the normalisation to 1.
+        targets = np.ones((len(positions), len(index_sets)))
+        for row, position in enumerate(positions):
+            targets[row, :-1] = np.maximum(0.0, sub_answers[position])
+        estimates = weighted_update_batch(1 << dimension, index_sets, targets,
+                                          threshold=threshold,
+                                          max_iterations=max_iterations)
+        answers[positions] = estimates[:, (1 << dimension) - 1]
+    return answers

@@ -29,10 +29,10 @@ from .base import RangeQueryMechanism
 from .granularity import DEFAULT_ALPHA2, choose_granularity_tdg
 from .grid import Grid2D
 from .phase2 import run_phase2
-from .query_estimation import estimate_lambda_query
+from .query_estimation import PairwiseBatchAnswering, estimate_lambda_query
 
 
-class TDG(RangeQueryMechanism):
+class TDG(PairwiseBatchAnswering, RangeQueryMechanism):
     """Two-Dimensional Grids under ε-LDP.
 
     Parameters
@@ -156,6 +156,10 @@ class TDG(RangeQueryMechanism):
         if self.postprocess:
             run_phase2(self._n_attributes, {}, self.grids, n_buckets=g2,
                        rounds=self.consistency_rounds)
+        # Precompute the prefix-sum indexes so the first query is as fast
+        # as the thousandth.
+        for grid in self.grids.values():
+            grid.build_index()
 
     # ------------------------------------------------------------------
     # Shard-state serialization (see docs/architecture.md for the schema)
@@ -212,23 +216,34 @@ class TDG(RangeQueryMechanism):
             return self.grids[(attr_b, attr_a)], True
         raise KeyError(f"no grid for attribute pair ({attr_a}, {attr_b})")
 
-    def _answer_pair(self, query: RangeQuery) -> float:
+    def _pair_intervals(self, query: RangeQuery) -> tuple[Grid2D, tuple[int, int],
+                                                          tuple[int, int]]:
+        """The 2-D grid of a pair query plus the grid-axis-ordered intervals."""
         attr_a, attr_b = query.attributes
         grid, flipped = self._grid_for(attr_a, attr_b)
         interval_a = query.interval(attr_a)
         interval_b = query.interval(attr_b)
         if flipped:
             interval_a, interval_b = interval_b, interval_a
+        return grid, interval_a, interval_b
+
+    def _answer_pair(self, query: RangeQuery) -> float:
+        grid, interval_a, interval_b = self._pair_intervals(query)
+        if self.use_legacy_answering:
+            return grid.answer_range_loop(interval_a, interval_b)
         return grid.answer_range(interval_a, interval_b)
 
-    def _answer_single(self, query: RangeQuery) -> float:
-        """1-D query: marginalise any grid containing the attribute."""
+    def _pad_to_pair(self, query: RangeQuery) -> RangeQuery:
+        """Extend a 1-D query with a second, unrestricted attribute."""
         attribute = query.attributes[0]
         low, high = query.interval(attribute)
         other = 0 if attribute != 0 else 1
-        padded = RangeQuery((Predicate(attribute, low, high),
-                             Predicate(other, 0, self._domain_size - 1)))
-        return self._answer_pair(padded)
+        return RangeQuery((Predicate(attribute, low, high),
+                           Predicate(other, 0, self._domain_size - 1)))
+
+    def _answer_single(self, query: RangeQuery) -> float:
+        """1-D query: marginalise any grid containing the attribute."""
+        return self._answer_pair(self._pad_to_pair(query))
 
     def _answer(self, query: RangeQuery) -> float:
         if query.dimension == 1:
@@ -238,6 +253,25 @@ class TDG(RangeQueryMechanism):
         return estimate_lambda_query(query, self._answer_pair,
                                      method=self.estimation_method,
                                      max_iterations=self.estimation_iterations)
+
+    # ------------------------------------------------------------------
+    # Batch engine
+    # ------------------------------------------------------------------
+    def _answer_interval_pairs_batched(self, entries) -> np.ndarray:
+        """Grouped, vectorised corner lookups (uniformity rule only)."""
+        return self._grid_interval_pairs_batched(entries, self.grids,
+                                                 lambda key: None)
+
+    def _answer_singles_batched(self, queries: list[RangeQuery]) -> np.ndarray:
+        """Batch 1-D answers (TDG marginalises a 2-D grid; HDG overrides)."""
+        c = self._domain_size
+        entries = []
+        for query in queries:
+            predicate = query.predicates[0]
+            other = 0 if predicate.attribute != 0 else 1
+            entries.append((predicate.attribute, other,
+                            (predicate.low, predicate.high), (0, c - 1)))
+        return self._answer_interval_pairs_batched(entries)
 
 
 class ITDG(TDG):

@@ -1,11 +1,13 @@
 """Shared estimation engines: Weighted Update and Maximum Entropy."""
 
 from .max_entropy import max_entropy_estimate
-from .weighted_update import Constraint, WeightedUpdateResult, weighted_update
+from .weighted_update import (Constraint, WeightedUpdateResult,
+                              weighted_update, weighted_update_batch)
 
 __all__ = [
     "Constraint",
     "WeightedUpdateResult",
     "max_entropy_estimate",
     "weighted_update",
+    "weighted_update_batch",
 ]

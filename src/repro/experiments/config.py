@@ -47,6 +47,10 @@ class ExperimentConfig:
     n_shards: int = 1
     #: Concurrency cap for the shard executor; None = one worker per shard.
     shard_workers: int | None = None
+    #: Phase-3 answering path: "batch" (vectorised prefix-sum engine, the
+    #: default) or "legacy" (original one-query-at-a-time loops, kept for
+    #: comparison and benchmarking).
+    query_engine: str = "batch"
 
     def with_overrides(self, **overrides) -> "ExperimentConfig":
         """Return a copy with the given fields replaced."""
@@ -74,3 +78,5 @@ class ExperimentConfig:
             raise ValueError("n_shards must be positive")
         if self.shard_workers is not None and self.shard_workers < 1:
             raise ValueError("shard_workers must be positive when set")
+        if self.query_engine not in ("batch", "legacy"):
+            raise ValueError("query_engine must be 'batch' or 'legacy'")

@@ -141,6 +141,7 @@ def run_experiment(config: ExperimentConfig,
                                          dataset, config)
             else:
                 mechanism.fit(dataset)
+            mechanism.use_legacy_answering = config.query_engine == "legacy"
             estimates = mechanism.answer_workload(queries)
             per_method_maes[method].append(mean_absolute_error(estimates, truths))
             per_method_errors[method].append(absolute_errors(estimates, truths))

@@ -55,15 +55,33 @@ class OptimizedLocalHash(FrequencyOracle):
     hash_range:
         Optional override of ``c'``; defaults to ``round(e^eps) + 1`` as in
         the paper, never below 2.
+    support_chunk_elements:
+        Memory budget for ``mode="user"`` aggregation, expressed as the
+        maximum number of hash-matrix entries evaluated at once.  The
+        aggregator counts supports in report chunks of
+        ``support_chunk_elements // domain_size`` rows instead of
+        materialising the full ``n x c`` matrix (which at paper scale,
+        n = 10^6 reports over a 64 x 64-cell grid, would need tens of
+        gigabytes).  Chunking is exact — the support counts are integer
+        sums and do not depend on the chunk boundaries.
     """
+
+    #: Default memory budget: 4M int64 entries, ~32 MB per chunk.
+    DEFAULT_SUPPORT_CHUNK_ELEMENTS = 1 << 22
 
     def __init__(self, epsilon: float, domain_size: int,
                  rng: np.random.Generator | None = None,
-                 mode: str = "fast", hash_range: int | None = None):
+                 mode: str = "fast", hash_range: int | None = None,
+                 support_chunk_elements: int | None = None):
         super().__init__(epsilon, domain_size, rng)
         if mode not in ("fast", "user"):
             raise ValueError(f"mode must be 'fast' or 'user', got {mode!r}")
         self.mode = mode
+        if support_chunk_elements is None:
+            support_chunk_elements = self.DEFAULT_SUPPORT_CHUNK_ELEMENTS
+        if support_chunk_elements < 1:
+            raise ValueError("support_chunk_elements must be positive")
+        self.support_chunk_elements = int(support_chunk_elements)
         if hash_range is None:
             hash_range = int(round(math.exp(epsilon))) + 1
         self.hash_range = max(2, int(hash_range))
@@ -99,10 +117,19 @@ class OptimizedLocalHash(FrequencyOracle):
 
     def count_supports(self, a: np.ndarray, b: np.ndarray,
                        reports: np.ndarray) -> SupportAccumulator:
-        """Count, per candidate value, how many reports support it."""
+        """Count, per candidate value, how many reports support it.
+
+        Reports are processed in fixed-size chunks so memory stays at
+        ``support_chunk_elements`` hash evaluations regardless of ``n``;
+        the resulting counts are identical to the one-shot evaluation.
+        """
         family = UniversalHashFamily(self.domain_size, self.hash_range, self.rng)
-        hash_matrix = family.evaluate_matrix(a, b)
-        supports = (hash_matrix == reports[:, None]).sum(axis=0).astype(float)
+        supports = np.zeros(self.domain_size)
+        rows_per_chunk = max(1, self.support_chunk_elements // self.domain_size)
+        for start in range(0, reports.size, rows_per_chunk):
+            stop = start + rows_per_chunk
+            hash_matrix = family.evaluate_matrix(a[start:stop], b[start:stop])
+            supports += (hash_matrix == reports[start:stop, None]).sum(axis=0)
         return SupportAccumulator(supports, reports.size)
 
     # ------------------------------------------------------------------

@@ -165,3 +165,36 @@ def test_predicate_at_domain_edges(small_dataset):
     for interval in [(0, 0), (c - 1, c - 1), (0, c - 1)]:
         query = RangeQuery((Predicate(0, *interval), Predicate(1, 0, c - 1)))
         assert np.isfinite(mechanism.answer(query))
+
+
+# ----------------------------------------------------------------------
+# Non-power-of-two domains and tiny populations (guideline robustness)
+# ----------------------------------------------------------------------
+def test_grid_mechanisms_fit_non_power_of_two_domain(rng):
+    # Regression: c=100 used to crash at fit time because the guideline
+    # rounded to a power of two that does not divide the domain.
+    dataset = Dataset(rng.integers(0, 100, size=(8_000, 3)), 100)
+    query = RangeQuery.from_dict({0: (10, 57), 1: (3, 88)})
+    for mechanism in (TDG(1.0, seed=0), HDG(1.0, seed=0), CALM(1.0, seed=0),
+                      MSW(1.0, seed=0)):
+        mechanism.fit(dataset)
+        assert np.isfinite(mechanism.answer(query))
+
+
+@pytest.mark.parametrize("n_users", [1, 2, 3])
+def test_grid_mechanisms_fit_tiny_population(rng, n_users):
+    # Regression: a single user used to crash the HDG guideline with
+    # "n1 and m1 must be positive".
+    dataset = Dataset(rng.integers(0, 64, size=(n_users, 3)), 64)
+    query = RangeQuery.from_dict({0: (0, 31), 1: (16, 47)})
+    for mechanism in (TDG(1.0, seed=0), HDG(1.0, seed=0)):
+        mechanism.fit(dataset)
+        assert np.isfinite(mechanism.answer(query))
+
+
+def test_single_user_non_power_of_two_domain(rng):
+    dataset = Dataset(rng.integers(0, 30, size=(1, 3)), 30)
+    for mechanism in (TDG(1.0, seed=0), HDG(1.0, seed=0)):
+        mechanism.fit(dataset)
+        query = RangeQuery.from_dict({0: (0, 14), 1: (0, 29)})
+        assert np.isfinite(mechanism.answer(query))

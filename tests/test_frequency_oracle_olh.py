@@ -100,3 +100,47 @@ def test_estimates_roughly_sum_to_one(skewed_values, rng):
     oracle = OptimizedLocalHash(1.0, 8, rng=rng, mode="fast")
     estimates = oracle.estimate_frequencies(skewed_values)
     assert estimates.sum() == pytest.approx(1.0, abs=0.1)
+
+
+# ----------------------------------------------------------------------
+# Chunked user-mode aggregation (memory at paper scale)
+# ----------------------------------------------------------------------
+def test_count_supports_chunking_is_exact(rng):
+    # Chunked support counting must produce the *identical* counts as the
+    # one-shot n x c matrix: the counts are deterministic in (a, b, reports).
+    oracle_big = OptimizedLocalHash(1.0, 64, rng=rng, mode="user",
+                                    support_chunk_elements=1 << 30)
+    values = rng.integers(0, 64, size=3_000)
+    a, b, reports = oracle_big.perturb(values)
+    one_shot = oracle_big.count_supports(a, b, reports)
+    for chunk_elements in (1, 64, 1000, 4096):
+        oracle = OptimizedLocalHash(1.0, 64, rng=rng, mode="user",
+                                    support_chunk_elements=chunk_elements)
+        chunked = oracle.count_supports(a, b, reports)
+        np.testing.assert_array_equal(chunked.supports, one_shot.supports)
+        assert chunked.n_reports == one_shot.n_reports
+
+
+def test_count_supports_empty_reports(rng):
+    oracle = OptimizedLocalHash(1.0, 16, rng=rng, mode="user")
+    empty = np.array([], dtype=np.int64)
+    accumulator = oracle.count_supports(empty.astype(np.uint64),
+                                        empty.astype(np.uint64), empty)
+    assert accumulator.n_reports == 0
+    np.testing.assert_array_equal(accumulator.supports, np.zeros(16))
+
+
+def test_support_chunk_elements_validated(rng):
+    with pytest.raises(ValueError):
+        OptimizedLocalHash(1.0, 16, rng=rng, support_chunk_elements=0)
+
+
+def test_user_mode_memory_stays_bounded(rng):
+    # With a small chunk budget the oracle never materialises the full
+    # n x c hash matrix; the estimates still behave like user mode.
+    oracle = OptimizedLocalHash(2.0, 32, rng=rng, mode="user",
+                                support_chunk_elements=256)
+    values = rng.integers(0, 32, size=20_000)
+    estimates = oracle.estimate_frequencies(values)
+    truth = np.bincount(values, minlength=32) / values.size
+    assert np.abs(estimates - truth).max() < 0.05

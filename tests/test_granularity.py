@@ -130,3 +130,89 @@ def test_invalid_inputs_rejected():
         default_user_split(100, 1)
     with pytest.raises(ValueError):
         choose_granularity_tdg(1.0, 100, 1, 64)
+
+
+# ----------------------------------------------------------------------
+# Non-power-of-two domains: the guideline snaps to divisors of c
+# ----------------------------------------------------------------------
+def test_nearest_divisor_basic():
+    from repro.core import nearest_divisor
+    assert nearest_divisor(7.0, 100) == 5          # candidates ... 5, 10 ...
+    assert nearest_divisor(9.0, 100) == 10
+    assert nearest_divisor(3.0, 9) == 3
+    assert nearest_divisor(1.0, 9) == 3            # floored at the minimum
+    assert nearest_divisor(1000.0, 100) == 100     # capped at the domain
+
+
+def test_nearest_divisor_multiple_of_constraint():
+    from repro.core import nearest_divisor
+    assert nearest_divisor(7.0, 60, multiple_of=6) == 6
+    assert nearest_divisor(11.0, 60, multiple_of=6) == 12
+    with pytest.raises(ValueError):
+        nearest_divisor(5.0, 60, multiple_of=7)    # 7 does not divide 60
+
+
+def test_nearest_divisor_matches_power_of_two_on_power_of_two_domains():
+    from repro.core import nearest_divisor
+    # For power-of-two domains the divisors are exactly the powers of two,
+    # so the divisor snap reproduces the paper's rounding (ties included).
+    for value in (1.0, 2.9, 3.0, 3.1, 6.0, 23.3, 25.0, 100.0):
+        assert nearest_divisor(value, 64) == nearest_power_of_two(value,
+                                                                  maximum=64)
+
+
+@pytest.mark.parametrize("domain_size", [100, 96, 60, 48, 9, 15, 7])
+def test_hdg_guideline_non_power_of_two_domain(domain_size):
+    # Regression: these raised "granularity must divide the domain size"
+    # before the guideline snapped to divisors of c.
+    choice = choose_granularities_hdg(1.0, 100_000, 4, domain_size)
+    assert domain_size % choice.g1 == 0
+    assert domain_size % choice.g2 == 0
+    assert choice.g1 % choice.g2 == 0
+
+
+@pytest.mark.parametrize("domain_size", [100, 96, 60, 9, 7])
+def test_tdg_guideline_non_power_of_two_domain(domain_size):
+    choice = choose_granularity_tdg(1.0, 100_000, 4, domain_size)
+    assert domain_size % choice.g2 == 0
+
+
+def test_power_of_two_table2_unchanged_by_divisor_snap():
+    # The Table 2 reference values must survive the divisor generalisation.
+    assert (lambda ch: (ch.g1, ch.g2))(
+        choose_granularities_hdg(1.0, 1_000_000, 6, 64)) == (16, 4)
+    assert choose_granularity_tdg(1.0, 1_000_000, 6, 64).g2 == 4
+
+
+# ----------------------------------------------------------------------
+# Degenerate populations: clamp the split, fall back to minimums
+# ----------------------------------------------------------------------
+def test_default_user_split_tiny_populations():
+    n1, n2, m1, m2 = default_user_split(2, 6)
+    assert n1 == 1 and n2 == 1
+    n1, n2, _, _ = default_user_split(1, 6)
+    assert n1 + n2 == 1 and n1 >= 0 and n2 >= 0
+    n1, n2, _, _ = default_user_split(0, 6)
+    assert (n1, n2) == (0, 0)
+
+
+@pytest.mark.parametrize("n_users", [0, 1, 2, 3])
+def test_hdg_guideline_tiny_population(n_users):
+    # Regression: n_users=1 used to produce n1=0 and raise
+    # "n1 and m1 must be positive" from raw_g1.
+    choice = choose_granularities_hdg(1.0, n_users, 6, 64)
+    assert choice.g1 >= 2 and choice.g2 >= 2
+    assert choice.g1 % choice.g2 == 0
+    assert choice.n1 + choice.n2 == n_users
+
+
+@pytest.mark.parametrize("n_users", [0, 1, 2])
+def test_tdg_guideline_tiny_population(n_users):
+    choice = choose_granularity_tdg(1.0, n_users, 6, 64)
+    assert 2 <= choice.g2 <= 64
+
+
+def test_hdg_guideline_tiny_population_with_sigma():
+    choice = choose_granularities_hdg(1.0, 1, 6, 64, sigma=0.4)
+    assert choice.n1 + choice.n2 == 1
+    assert choice.g1 >= choice.g2 >= 2
