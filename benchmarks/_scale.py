@@ -16,11 +16,17 @@ the pytest capture.
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Machine-readable trajectory of the fit/sweep performance benchmarks;
+#: every run appends one record so speedups can be tracked across PRs.
+BENCH_TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_fit.json"
 
 
 @dataclass(frozen=True)
@@ -74,3 +80,24 @@ def report(name: str, text: str) -> None:
     print(text)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def append_trajectory(section: str, entry: dict) -> None:
+    """Record one benchmark run in the ``BENCH_fit.json`` trajectory.
+
+    The artifact keeps the latest record per section plus the full
+    append-only history; a corrupt or missing file is recreated rather
+    than failing the benchmark.
+    """
+    data: dict = {}
+    if BENCH_TRAJECTORY.exists():
+        try:
+            data = json.loads(BENCH_TRAJECTORY.read_text())
+        except ValueError:
+            data = {}
+    record = dict(entry)
+    record["section"] = section
+    record["unix_time"] = round(time.time(), 3)
+    data.setdefault("history", []).append(record)
+    data.setdefault("latest", {})[section] = record
+    BENCH_TRAJECTORY.write_text(json.dumps(data, indent=2) + "\n")

@@ -1,0 +1,114 @@
+"""Reports/sec of the collection (``fit``) path per mechanism.
+
+PR 2 made query answering 17-130x faster, which left the collection
+path — user perturbation, support counting, Phase-2 post-processing —
+as the dominant cost of figure reproduction.  This benchmark times
+``fit`` for every mechanism on one dataset and reports user reports
+collected per second, so the vectorised collection paths (Square Wave's
+broadcast transition matrix, stacked Phase-2 consistency, the grouped
+HIO/LHIO gathers warmed during answering) stay measured.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_fit_throughput.py
+    PYTHONPATH=src python benchmarks/bench_fit_throughput.py --smoke
+
+``--smoke`` shrinks the population so CI exercises the whole path in a
+few seconds.  Every run appends a record to the ``BENCH_fit.json``
+trajectory artifact at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _scale import append_trajectory, report  # noqa: E402
+
+from repro.baselines import CALM, HIO, LHIO, MSW, Uniform  # noqa: E402
+from repro.core import HDG, TDG  # noqa: E402
+from repro.datasets import make_dataset  # noqa: E402
+
+#: Mechanisms measured, in report order.
+MECHANISMS = ("Uni", "MSW", "CALM", "HIO", "LHIO", "TDG", "HDG")
+
+FACTORIES = {
+    "Uni": lambda epsilon, seed: Uniform(epsilon, seed=seed),
+    "MSW": lambda epsilon, seed: MSW(epsilon, seed=seed),
+    "CALM": lambda epsilon, seed: CALM(epsilon, seed=seed),
+    "HIO": lambda epsilon, seed: HIO(epsilon, seed=seed),
+    "LHIO": lambda epsilon, seed: LHIO(epsilon, seed=seed),
+    "TDG": lambda epsilon, seed: TDG(epsilon, seed=seed),
+    "HDG": lambda epsilon, seed: HDG(epsilon, seed=seed),
+}
+
+
+def time_fit(name: str, epsilon: float, seed: int, dataset,
+             min_seconds: float = 0.2) -> float:
+    """Best-of-repeats seconds for one mechanism's full collection."""
+    best = float("inf")
+    elapsed_total = 0.0
+    while elapsed_total < min_seconds:
+        mechanism = FACTORIES[name](epsilon, seed)
+        start = time.perf_counter()
+        mechanism.fit(dataset)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        elapsed_total += elapsed
+    return best
+
+
+def run(n_users: int, epsilon: float, n_attributes: int, domain_size: int,
+        seed: int, smoke: bool) -> tuple[str, dict]:
+    rng = np.random.default_rng(seed)
+    dataset = make_dataset("normal", n_users, n_attributes, domain_size,
+                           rng=rng)
+    lines = [f"fit throughput: n={n_users} d={n_attributes} c={domain_size} "
+             f"eps={epsilon}",
+             f"{'mechanism':>10}  {'fit seconds':>12}  {'reports/sec':>12}"]
+    throughput: dict[str, float] = {}
+    for name in MECHANISMS:
+        seconds = time_fit(name, epsilon, seed, dataset,
+                           min_seconds=0.05 if smoke else 0.2)
+        rate = n_users / seconds
+        throughput[name] = round(rate, 1)
+        lines.append(f"{name:>10}  {seconds:>12.4f}  {rate:>12.0f}")
+    text = "\n".join(lines)
+    entry = {
+        "n_users": n_users,
+        "n_attributes": n_attributes,
+        "domain_size": domain_size,
+        "epsilon": epsilon,
+        "smoke": smoke,
+        "reports_per_second": throughput,
+    }
+    return text, entry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny configuration for CI")
+    parser.add_argument("--n-users", type=int, default=None)
+    parser.add_argument("--epsilon", type=float, default=1.0)
+    parser.add_argument("--n-attributes", type=int, default=6)
+    parser.add_argument("--domain-size", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    n_users = args.n_users or (5_000 if args.smoke else 200_000)
+    text, entry = run(n_users, args.epsilon, args.n_attributes,
+                      args.domain_size, args.seed, smoke=args.smoke)
+    report("fit_throughput", text)
+    append_trajectory("fit_throughput", entry)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

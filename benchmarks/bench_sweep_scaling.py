@@ -1,0 +1,154 @@
+"""Wall-clock of a parameter sweep vs executor worker count, plus caching.
+
+Runs the paper's canonical 4-point epsilon sweep through the experiment
+executor at ``n_jobs`` in {1, 2, 4}, checks that every parallel result
+is bit-for-bit identical to the sequential one, then re-runs the sweep
+against a warm on-disk cache to show the all-hits path.  The full run
+asserts a >= 3x speedup at ``n_jobs=4`` when the machine actually has
+four cores (the cell grid is embarrassingly parallel); ``--smoke``
+shrinks the configuration and skips the assertion for CI runners.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_scaling.py
+    PYTHONPATH=src python benchmarks/bench_sweep_scaling.py --smoke
+
+Every run appends a record to the ``BENCH_fit.json`` trajectory
+artifact at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _scale import append_trajectory, report  # noqa: E402
+
+from repro.experiments import (ExperimentConfig, ResultCache, clear_memos,  # noqa: E402
+                               sweep_parameter)
+
+EPSILONS = [0.2, 0.5, 1.0, 2.0]
+JOB_COUNTS = (1, 2, 4)
+
+
+def time_sweep(config: ExperimentConfig, n_jobs: int,
+               cache: ResultCache | None = None):
+    """Wall-clock seconds and results of one sweep run from a cold memo."""
+    clear_memos()
+    start = time.perf_counter()
+    sweep = sweep_parameter(config.with_overrides(n_jobs=n_jobs), "epsilon",
+                            EPSILONS, cache=cache)
+    return time.perf_counter() - start, sweep
+
+
+def assert_identical(baseline, candidate, label: str, failures: list[str]):
+    for left, right in zip(baseline.results, candidate.results):
+        for method in left.config.methods:
+            if left.methods[method].mae != right.methods[method].mae:
+                failures.append(f"{label}: {method} MAE differs from sequential")
+            elif not np.array_equal(left.methods[method].per_query_errors,
+                                    right.methods[method].per_query_errors):
+                failures.append(
+                    f"{label}: {method} per-query errors differ from sequential")
+
+
+def run(n_users: int, n_queries: int, methods: tuple[str, ...],
+        n_attributes: int, domain_size: int, seed: int,
+        smoke: bool) -> tuple[str, dict]:
+    config = ExperimentConfig(dataset="normal", n_users=n_users,
+                              n_attributes=n_attributes,
+                              domain_size=domain_size, n_queries=n_queries,
+                              methods=methods, seed=seed)
+    lines = [f"sweep scaling: 4-point epsilon sweep, n={n_users} "
+             f"d={n_attributes} c={domain_size} |Q|={n_queries} "
+             f"methods={','.join(methods)} (cpu_count={os.cpu_count()})",
+             f"{'n_jobs':>8}  {'seconds':>9}  {'speedup':>8}"]
+    failures: list[str] = []
+    seconds_by_jobs: dict[int, float] = {}
+    baseline = None
+    for n_jobs in JOB_COUNTS:
+        seconds, sweep = time_sweep(config, n_jobs)
+        seconds_by_jobs[n_jobs] = seconds
+        if baseline is None:
+            baseline = sweep
+        else:
+            assert_identical(baseline, sweep, f"n_jobs={n_jobs}", failures)
+        speedup = seconds_by_jobs[1] / seconds
+        lines.append(f"{n_jobs:>8}  {seconds:>9.2f}  {speedup:>7.2f}x")
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        warm_seconds, _ = time_sweep(config, 1, cache=ResultCache(cache_dir))
+        cache = ResultCache(cache_dir)
+        cached_seconds, cached = time_sweep(config, 1, cache=cache)
+        assert_identical(baseline, cached, "cached", failures)
+        if cache.misses:
+            failures.append(
+                f"cached re-run had {cache.misses} misses (expected all hits)")
+    lines.append(f"{'cached':>8}  {cached_seconds:>9.2f}  "
+                 f"{seconds_by_jobs[1] / cached_seconds:>7.2f}x "
+                 f"({cache.hits} cache hits)")
+
+    speedup_at_4 = seconds_by_jobs[1] / seconds_by_jobs[4]
+    if not smoke and (os.cpu_count() or 1) >= 4 and speedup_at_4 < 3.0:
+        failures.append(
+            f"n_jobs=4 only {speedup_at_4:.2f}x over sequential on a "
+            f"{os.cpu_count()}-core machine (expected >= 3x)")
+    if not smoke and (os.cpu_count() or 1) < 4:
+        lines.append(f"(speedup assertion skipped: only {os.cpu_count()} "
+                     "core(s) available)")
+
+    text = "\n".join(lines)
+    entry = {
+        "n_users": n_users,
+        "n_queries": n_queries,
+        "methods": list(methods),
+        "epsilons": EPSILONS,
+        "cpu_count": os.cpu_count(),
+        "smoke": smoke,
+        "seconds_by_n_jobs": {str(jobs): round(seconds, 4)
+                              for jobs, seconds in seconds_by_jobs.items()},
+        "cached_rerun_seconds": round(cached_seconds, 4),
+        "speedup_at_4_jobs": round(speedup_at_4, 3),
+    }
+    if failures:
+        raise SystemExit(text + "\n\nFAILURES:\n" + "\n".join(failures))
+    return text, entry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny configuration for CI: checks parallel == "
+                             "sequential and the all-hits cached path, skips "
+                             "the speedup assertion")
+    parser.add_argument("--n-users", type=int, default=None)
+    parser.add_argument("--n-queries", type=int, default=None)
+    parser.add_argument("--methods", nargs="+", default=None)
+    parser.add_argument("--n-attributes", type=int, default=None)
+    parser.add_argument("--domain-size", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    n_users = args.n_users or (3_000 if args.smoke else 100_000)
+    n_queries = args.n_queries or (10 if args.smoke else 100)
+    methods = tuple(args.methods) if args.methods else (
+        ("Uni", "TDG") if args.smoke else ("Uni", "MSW", "CALM", "TDG", "HDG"))
+    n_attributes = args.n_attributes or (3 if args.smoke else 6)
+    domain_size = args.domain_size or (16 if args.smoke else 64)
+    text, entry = run(n_users, n_queries, methods, n_attributes, domain_size,
+                      args.seed, smoke=args.smoke)
+    report("sweep_scaling", text)
+    append_trajectory("sweep_scaling", entry)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -183,7 +183,62 @@ class HIO(RangeQueryMechanism):
             for combination in product(*decompositions):
                 answer += self._interval_frequency(tuple(combination))
             return answer
-        return self._answer_bucketed(decompositions)
+        return self._answer_vectorized(decompositions)
+
+    #: Combination-count ceiling for the fully-vectorised enumeration;
+    #: above it the bucketed per-combination loop is used instead of
+    #: materialising gigabyte-scale index meshes.
+    VECTORIZE_COMBINATION_LIMIT = 1 << 20
+
+    def _answer_vectorized(self, decompositions: list[list[HierarchyNode]]) -> float:
+        """Enumerate and sum all node combinations without a Python loop.
+
+        The cartesian product of the per-attribute decompositions is
+        built as index meshes, each combination's d-dim level is packed
+        into one integer code, and every distinct level is answered with
+        a single fancy-indexed gather over its materialised estimates.
+        Levels are materialised in the product's first-touch order, so
+        the RNG stream — and therefore every answer — matches the legacy
+        per-combination loop from a fresh fitted state.  Combinations
+        involving over-limit (lazy) levels keep the bucketed loop, which
+        interleaves lazy noise draws at the legacy iteration points.
+        """
+        assert self.hierarchy is not None
+        level_arrays = [np.array([node.level for node in nodes], dtype=np.int64)
+                        for nodes in decompositions]
+        index_arrays = [np.array([node.index for node in nodes], dtype=np.int64)
+                        for nodes in decompositions]
+        n_combinations = 1
+        for nodes in decompositions:
+            n_combinations *= len(nodes)
+        if n_combinations > self.VECTORIZE_COMBINATION_LIMIT:
+            return self._answer_bucketed(decompositions)
+        nodes_at = np.array([self.hierarchy.nodes_at_level(level)
+                             for level in range(self.hierarchy.n_levels)],
+                            dtype=np.int64)
+        levels = np.stack([mesh.ravel() for mesh
+                           in np.meshgrid(*level_arrays, indexing="ij")], axis=1)
+        indices = np.stack([mesh.ravel() for mesh
+                            in np.meshgrid(*index_arrays, indexing="ij")], axis=1)
+        counts = nodes_at[levels]
+        if np.any(counts.prod(axis=1) > self.materialize_limit):
+            return self._answer_bucketed(decompositions)
+        codes = np.zeros(levels.shape[0], dtype=np.int64)
+        flat = np.zeros(levels.shape[0], dtype=np.int64)
+        n_levels = self.hierarchy.n_levels
+        for axis in range(levels.shape[1]):
+            codes = codes * n_levels + levels[:, axis]
+            flat = flat * counts[:, axis] + indices[:, axis]
+        _, first_positions, inverse = np.unique(codes, return_index=True,
+                                                return_inverse=True)
+        answer = 0.0
+        for group in np.argsort(first_positions, kind="stable"):
+            level = tuple(int(l) for l in levels[first_positions[group]])
+            if level not in self._materialized:
+                self._materialized[level] = self._materialize_level(level)
+            answer += float(
+                self._materialized[level][flat[inverse == group]].sum())
+        return answer
 
     def _answer_bucketed(self, decompositions: list[list[HierarchyNode]]) -> float:
         """Sum node combinations with one vectorised gather per d-dim level.

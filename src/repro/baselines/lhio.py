@@ -229,15 +229,87 @@ class LHIO(PairwiseBatchAnswering, RangeQueryMechanism):
                                      method=self.estimation_method)
 
     # ------------------------------------------------------------------
-    # Batch engine (see PairwiseBatchAnswering): the per-query primitives
-    # are already vectorised gathers, so the batched entry points just
-    # collect them; the λ > 2 Weighted Update runs as one NumPy batch.
+    # Batch engine (see PairwiseBatchAnswering): all 2-D lookups of a
+    # workload — λ = 1 queries padded to pairs, λ = 2 queries directly,
+    # the C(λ,2) sub-queries of λ > 2 queries — flow through one grouped
+    # gather per (pair, 2-dim level); the λ > 2 Weighted Update then
+    # runs as one NumPy batch.
     # ------------------------------------------------------------------
-    def _answer_pairs_batched(self, queries: list[RangeQuery]) -> np.ndarray:
-        return np.array([self._answer_pair(query) for query in queries])
+    def _answer_interval_pairs_batched(self, entries) -> np.ndarray:
+        """Sum every entry's node combinations with one gather per level.
+
+        Each entry ``(attr_a, attr_b, interval_a, interval_b)`` decomposes
+        into (row node, column node) combinations exactly like
+        :meth:`_answer_pair`; combinations from all entries are grouped
+        by (attribute pair, 2-dim level) and each group is answered with
+        a single fancy-indexed lookup into the level's materialised
+        estimates, scatter-added back onto the entries via ``bincount``.
+        Falls back to the per-entry loop when any level is lazy, which
+        keeps the lazy noise draws in the legacy iteration order.
+        """
+        assert self.hierarchy is not None
+        if not entries or any(pair_hierarchy.lazy_groups
+                              for pair_hierarchy in self._pairs.values()):
+            return super()._answer_interval_pairs_batched(entries)
+        n_levels = self.hierarchy.n_levels
+        pairs_list = list(self._pairs)
+        pair_position = {pair: index for index, pair in enumerate(pairs_list)}
+        node_cache: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+
+        def nodes_of(interval: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
+            arrays = node_cache.get(interval)
+            if arrays is None:
+                nodes = self.hierarchy.decompose(*interval)
+                arrays = (np.array([node.level for node in nodes], dtype=np.int64),
+                          np.array([node.index for node in nodes], dtype=np.int64))
+                node_cache[interval] = arrays
+            return arrays
+
+        code_parts, row_parts, col_parts, entry_parts = [], [], [], []
+        for position, (attr_a, attr_b, interval_a, interval_b) in enumerate(entries):
+            if (attr_a, attr_b) in self._pairs:
+                pair = (attr_a, attr_b)
+            else:
+                pair = (attr_b, attr_a)
+                interval_a, interval_b = interval_b, interval_a
+            row_levels, row_indices = nodes_of(tuple(interval_a))
+            col_levels, col_indices = nodes_of(tuple(interval_b))
+            n_rows, n_cols = row_levels.size, col_levels.size
+            row_level_grid = np.repeat(row_levels, n_cols)
+            col_level_grid = np.tile(col_levels, n_rows)
+            code_parts.append((pair_position[pair] * n_levels + row_level_grid)
+                              * n_levels + col_level_grid)
+            row_parts.append(np.repeat(row_indices, n_cols))
+            col_parts.append(np.tile(col_indices, n_rows))
+            entry_parts.append(np.full(n_rows * n_cols, position, dtype=np.int64))
+        codes = np.concatenate(code_parts)
+        rows = np.concatenate(row_parts)
+        cols = np.concatenate(col_parts)
+        entry_ids = np.concatenate(entry_parts)
+
+        answers = np.zeros(len(entries))
+        unique_codes, inverse = np.unique(codes, return_inverse=True)
+        for group, code in enumerate(unique_codes):
+            mask = inverse == group
+            code = int(code)
+            col_level = code % n_levels
+            row_level = (code // n_levels) % n_levels
+            pair = pairs_list[code // (n_levels * n_levels)]
+            values = self._pairs[pair].levels[(row_level, col_level)]
+            answers += np.bincount(entry_ids[mask],
+                                   weights=values[rows[mask], cols[mask]],
+                                   minlength=len(entries))
+        return answers
 
     def _answer_singles_batched(self, queries: list[RangeQuery]) -> np.ndarray:
-        return np.array([self._answer_single(query) for query in queries])
+        full_domain = (0, self._domain_size - 1)
+        entries = []
+        for query in queries:
+            attribute = query.attributes[0]
+            other = 0 if attribute != 0 else 1
+            entries.append((attribute, other, query.interval(attribute),
+                            full_domain))
+        return self._answer_interval_pairs_batched(entries)
 
     def _answer_workload(self, queries: list[RangeQuery]) -> np.ndarray:
         if any(pair_hierarchy.lazy_groups

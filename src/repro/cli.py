@@ -24,6 +24,8 @@ Examples
 --------
 python -m repro.cli run --dataset normal --n-users 100000 --epsilon 1.0
 python -m repro.cli sweep --parameter epsilon --values 0.2 0.5 1.0 2.0
+python -m repro.cli sweep --parameter epsilon --values 0.2 0.5 1.0 2.0 \\
+    --jobs 4 --cache-dir /tmp/repro-cache
 python -m repro.cli table2 --d 6 --lg-n 6.0
 python -m repro.cli shard-demo --shards 4 --save-state /tmp/shards
 python -m repro.cli merge /tmp/shards/shard*.json --output /tmp/merged.json
@@ -39,7 +41,8 @@ from pathlib import Path
 import numpy as np
 
 from .datasets import make_dataset
-from .experiments import ExperimentConfig, run_experiment, sweep_parameter
+from .experiments import (ExperimentConfig, ResultCache, run_experiment,
+                          sweep_parameter)
 from .experiments.figures import table_2_granularities
 from .metrics import mean_absolute_error
 from .pipeline import (ParallelFitReport, ShardAggregator, merge_aggregators,
@@ -72,6 +75,17 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="Phase-3 answering path: the vectorised "
                              "prefix-sum engine (default) or the original "
                              "per-query loop")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the experiment executor; "
+                             "the (sweep value, repetition, mechanism) cells "
+                             "run in parallel and reproduce the sequential "
+                             "results bit-for-bit")
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory for the on-disk cell cache; "
+                             "completed cells are skipped on re-runs")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore --cache-dir: neither read nor write "
+                             "cached cells")
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -82,17 +96,26 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         volume=args.volume, n_queries=args.n_queries,
         n_repeats=args.n_repeats, methods=tuple(args.methods), seed=args.seed,
         n_shards=args.shards, shard_workers=args.shard_workers,
-        query_engine=args.query_engine)
+        query_engine=args.query_engine, n_jobs=args.jobs)
+
+
+def _cache_from_args(args: argparse.Namespace) -> ResultCache | None:
+    if args.cache_dir is None or args.no_cache:
+        return None
+    return ResultCache(args.cache_dir)
 
 
 def _command_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
-    result = run_experiment(config)
+    cache = _cache_from_args(args)
+    result = run_experiment(config, cache=cache)
     print(f"dataset={config.dataset} n={config.n_users} d={config.n_attributes} "
           f"c={config.domain_size} eps={config.epsilon} "
           f"lambda={config.query_dimension} omega={config.volume}")
     for method in config.methods:
         print(f"  {method:>10}: MAE = {result.methods[method].mae}")
+    if cache is not None:
+        print(f"cache: {cache.stats()}")
     return 0
 
 
@@ -109,8 +132,11 @@ def _parse_sweep_values(parameter: str, raw_values: list[str]) -> list:
 def _command_sweep(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     values = _parse_sweep_values(args.parameter, args.values)
-    sweep = sweep_parameter(config, args.parameter, values)
+    cache = _cache_from_args(args)
+    sweep = sweep_parameter(config, args.parameter, values, cache=cache)
     print(sweep.format_table())
+    if cache is not None:
+        print(f"cache: {cache.stats()}")
     return 0
 
 

@@ -1,6 +1,8 @@
-"""Experiment harness: configs, runner and per-figure reproduction drivers."""
+"""Experiment harness: configs, executor, runner and per-figure drivers."""
 
+from .cache import CellResult, ResultCache, cell_key, clear_memos
 from .config import (DEFAULT_METHODS, METHODS_WITHOUT_HIO, ExperimentConfig)
+from .executor import evaluate_cell, execute_grid
 from .runner import (MECHANISM_FACTORIES, ExperimentResult, MethodResult,
                      SweepResult, build_mechanism, run_experiment,
                      sweep_parameter)
@@ -9,13 +11,19 @@ from . import appendix, figures
 __all__ = [
     "DEFAULT_METHODS",
     "METHODS_WITHOUT_HIO",
+    "CellResult",
     "ExperimentConfig",
     "ExperimentResult",
     "MECHANISM_FACTORIES",
     "MethodResult",
+    "ResultCache",
     "SweepResult",
     "appendix",
     "build_mechanism",
+    "cell_key",
+    "clear_memos",
+    "evaluate_cell",
+    "execute_grid",
     "figures",
     "run_experiment",
     "sweep_parameter",

@@ -1,0 +1,261 @@
+"""On-disk experiment-cell cache and in-process input memoization.
+
+Figure reproduction evaluates a grid of (sweep value x repetition x
+mechanism) cells, and interrupting or re-running a sweep used to redo
+every cell from scratch.  Two layers make the grid incremental:
+
+* :class:`ResultCache` — a directory of JSON files, one per completed
+  cell, keyed by a stable SHA-256 hash of the fully-resolved
+  configuration point plus the repetition index and mechanism name.
+  Execution-only knobs (``n_jobs``, ``shard_workers``) and the number of
+  repetitions are excluded from the key: they do not change what a cell
+  computes, so a sweep resumed with more workers or more repetitions
+  still hits every cell it already finished.  Any field that does change
+  the numbers — population, budget, seed, sharding, the query engine,
+  the mechanism line-up (whose order fixes the per-cell seed) —
+  invalidates the key.
+* Input memoization — within one process, datasets, workloads and
+  ground-truth answers are rebuilt from their generation parameters
+  only when those parameters change.  An epsilon sweep re-uses one
+  dataset per repetition across all sweep points instead of
+  regenerating identical data per point; executor workers inherit the
+  same memo, so each worker builds a dataset at most once per
+  (parameters, repetition) pair.
+
+Everything here is deterministic: a memoized object is bit-for-bit the
+object the un-memoized builder would have produced, because the builders
+derive their randomness from the key fields alone.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from ..datasets import Dataset, make_dataset
+from ..queries import RangeQuery, WorkloadGenerator
+from ..queries import answer_workload as true_answer_workload
+from .config import ExperimentConfig
+
+#: Bump when the cached cell schema or the cell computation changes
+#: incompatibly; old entries then miss instead of being misread.
+CACHE_VERSION = 1
+
+#: Config fields that do not affect what one cell computes.
+EXECUTION_ONLY_FIELDS = frozenset({"n_jobs", "shard_workers", "n_repeats"})
+
+
+def _canonical(value: Any) -> Any:
+    """JSON-stable form of a config field value (tuples, numpy scalars...)."""
+    if isinstance(value, dict):
+        return {str(key): _canonical(item) for key, item in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
+def config_fingerprint(config: ExperimentConfig) -> dict:
+    """Resolved, JSON-stable view of every result-affecting config field."""
+    fingerprint = {}
+    for field_info in fields(config):
+        if field_info.name in EXECUTION_ONLY_FIELDS:
+            continue
+        fingerprint[field_info.name] = _canonical(getattr(config, field_info.name))
+    return fingerprint
+
+
+def cell_key(config: ExperimentConfig, repeat: int, method: str) -> str:
+    """Stable cache key of one (config point, repetition, mechanism) cell."""
+    payload = {
+        "version": CACHE_VERSION,
+        "config": config_fingerprint(config),
+        "repeat": int(repeat),
+        "method": method,
+    }
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CellResult:
+    """Outcome of one executed cell: the MAE and per-query errors."""
+
+    method: str
+    repeat: int
+    mae: float
+    per_query_errors: np.ndarray
+
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "repeat": self.repeat,
+            "mae": self.mae,
+            "per_query_errors": self.per_query_errors.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CellResult":
+        return cls(method=str(payload["method"]), repeat=int(payload["repeat"]),
+                   mae=float(payload["mae"]),
+                   per_query_errors=np.asarray(payload["per_query_errors"],
+                                               dtype=float))
+
+
+class ResultCache:
+    """Directory-backed cell cache with hit/miss accounting.
+
+    Entries are written atomically (temp file + rename) so an
+    interrupted run never leaves a truncated entry behind; unreadable or
+    schema-mismatched entries count as misses and are overwritten.
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> CellResult | None:
+        """Cached cell for ``key``, or None (and a counted miss)."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            result = CellResult.from_dict(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result: CellResult) -> None:
+        path = self._path(key)
+        # A fresh temp name per write keeps the rename atomic even when
+        # concurrent sweeps share one cache directory and finish the
+        # same cell; both then promote a complete file.
+        descriptor, temporary = tempfile.mkstemp(dir=self.directory,
+                                                 suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "w") as handle:
+                handle.write(json.dumps(result.to_dict()))
+            os.replace(temporary, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(temporary)
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def stats(self) -> str:
+        return f"{self.hits} hits, {self.misses} misses ({self.directory})"
+
+
+# ----------------------------------------------------------------------
+# Deterministic input builders (moved here from the runner so the
+# executor's worker processes can construct inputs without importing the
+# runner's mechanism registry).
+# ----------------------------------------------------------------------
+def build_dataset(config: ExperimentConfig, repeat: int) -> Dataset:
+    """The repetition's dataset, derived from the config's data fields only."""
+    rng = np.random.default_rng(config.seed + 1_000_003 * repeat)
+    return make_dataset(config.dataset, config.n_users, config.n_attributes,
+                        config.domain_size, rng=rng, **config.dataset_kwargs)
+
+
+def build_workload(config: ExperimentConfig, repeat: int) -> list[RangeQuery]:
+    """The repetition's default random workload."""
+    rng = np.random.default_rng(config.seed + 7_000_003 * repeat + 17)
+    generator = WorkloadGenerator(config.n_attributes, config.domain_size, rng=rng)
+    return generator.random_workload(config.n_queries, config.query_dimension,
+                                     config.volume)
+
+
+def dataset_memo_key(config: ExperimentConfig, repeat: int) -> str:
+    """Key over exactly the fields :func:`build_dataset` reads."""
+    payload = _canonical([config.dataset, config.n_users, config.n_attributes,
+                          config.domain_size, config.seed,
+                          config.dataset_kwargs, repeat])
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+def workload_memo_key(config: ExperimentConfig, repeat: int) -> str:
+    """Key over exactly the fields :func:`build_workload` reads."""
+    payload = [config.n_attributes, config.domain_size, config.seed,
+               config.n_queries, config.query_dimension, config.volume, repeat]
+    return json.dumps(payload, separators=(",", ":"))
+
+
+#: Every live memo store, so :func:`clear_memos` can reset them all.
+_ALL_MEMO_STORES: list["_MemoStore"] = []
+
+
+class _MemoStore:
+    """Tiny FIFO-bounded memo; bounded because datasets can be tens of MB."""
+
+    def __init__(self, max_entries: int):
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        _ALL_MEMO_STORES.append(self)
+
+    def get_or_build(self, key: str, builder: Callable[[], Any]) -> Any:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        value = builder()
+        self._entries[key] = value
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+_dataset_memo = _MemoStore(max_entries=3)
+_workload_memo = _MemoStore(max_entries=8)
+_truths_memo = _MemoStore(max_entries=8)
+
+
+def memoized_dataset(config: ExperimentConfig, repeat: int) -> Dataset:
+    """Dataset for (config, repeat), reused while its parameters repeat.
+
+    Datasets are treated as immutable by every mechanism (collection only
+    reads ``values``), so sharing one instance across sweep points is
+    safe and exact.
+    """
+    return _dataset_memo.get_or_build(dataset_memo_key(config, repeat),
+                                      lambda: build_dataset(config, repeat))
+
+
+def memoized_workload(config: ExperimentConfig, repeat: int) -> list[RangeQuery]:
+    return _workload_memo.get_or_build(workload_memo_key(config, repeat),
+                                       lambda: build_workload(config, repeat))
+
+
+def memoized_truths(config: ExperimentConfig, repeat: int, dataset: Dataset,
+                    queries: list[RangeQuery]) -> np.ndarray:
+    """Exact workload answers, reused across the mechanisms of one cell row."""
+    key = dataset_memo_key(config, repeat) + "|" + workload_memo_key(config, repeat)
+    return _truths_memo.get_or_build(
+        key, lambda: true_answer_workload(dataset, queries))
+
+
+def clear_memos() -> None:
+    """Drop every memoized input (tests and benchmarks)."""
+    for store in _ALL_MEMO_STORES:
+        store.clear()

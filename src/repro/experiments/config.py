@@ -51,6 +51,12 @@ class ExperimentConfig:
     #: default) or "legacy" (original one-query-at-a-time loops, kept for
     #: comparison and benchmarking).
     query_engine: str = "batch"
+    #: Worker processes used by the experiment executor to evaluate the
+    #: (sweep value, repetition, mechanism) cell grid.  1 (the default)
+    #: runs every cell in-process; any value reproduces the sequential
+    #: results bit-for-bit because each cell derives its randomness from
+    #: the configuration seed alone.
+    n_jobs: int = 1
 
     def with_overrides(self, **overrides) -> "ExperimentConfig":
         """Return a copy with the given fields replaced."""
@@ -80,3 +86,5 @@ class ExperimentConfig:
             raise ValueError("shard_workers must be positive when set")
         if self.query_engine not in ("batch", "legacy"):
             raise ValueError("query_engine must be 'batch' or 'legacy'")
+        if self.n_jobs < 1:
+            raise ValueError("n_jobs must be positive")

@@ -1,0 +1,291 @@
+"""Parallel, resumable execution of experiment-cell grids.
+
+``run_experiment`` and ``sweep_parameter`` decompose into a grid of
+independent **cells** — one per (configuration point, repetition,
+mechanism) — because every cell derives all of its randomness from the
+configuration seed alone:
+
+* dataset:   ``default_rng(seed + 1_000_003 * repeat)``
+* workload:  ``default_rng(seed + 7_000_003 * repeat + 17)``
+* mechanism: ``default_rng(seed + 31 * repeat + position)``
+
+No cell reads another cell's RNG stream, so executing them on a process
+pool in any order reproduces the sequential loop bit-for-bit.  The
+executor schedules pending cells over ``n_jobs`` worker processes,
+shipping only the (small) configuration dataclass to each worker —
+datasets and workloads are rebuilt worker-side from their seeds and
+memoized per worker (:mod:`repro.experiments.cache`), so no
+multi-megabyte arrays cross the process boundary in either direction;
+a finished cell returns one float and one ``n_queries``-length error
+vector.
+
+With a :class:`~repro.experiments.cache.ResultCache`, completed cells
+are skipped entirely on re-runs: the parent process resolves hits
+before scheduling, stores misses as workers finish, and an interrupted
+sweep resumes from whatever cells it completed.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import pickle
+import warnings
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from ..metrics import absolute_errors, mean_absolute_error
+from .cache import (CellResult, ResultCache, _MemoStore, cell_key,
+                    config_fingerprint, memoized_dataset, memoized_truths,
+                    memoized_workload)
+from .config import ExperimentConfig
+
+#: Signature of the optional workload override: (config, dataset, repeat).
+WorkloadFactory = Callable[..., list]
+
+#: Per-process memo of factory-built workloads and their exact answers,
+#: so a worker evaluating several mechanisms of one repetition builds
+#: the factory workload (and answers it over the full dataset) once.
+#: Keyed by (config, repeat, factory identity); sound because parallel
+#: execution already requires factories to be deterministic in those
+#: inputs.
+_factory_inputs_memo = _MemoStore(max_entries=4)
+
+
+def _factory_identity(factory: WorkloadFactory) -> str:
+    return (f"{getattr(factory, '__module__', '?')}"
+            f".{getattr(factory, '__qualname__', repr(factory))}")
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One schedulable unit: a mechanism at one config point and repetition."""
+
+    config_index: int
+    repeat: int
+    position: int
+    method: str
+
+
+def evaluate_cell(config: ExperimentConfig, repeat: int, position: int,
+                  method: str,
+                  workload_factory: WorkloadFactory | None = None,
+                  queries: list | None = None,
+                  truths: np.ndarray | None = None) -> CellResult:
+    """Execute one cell exactly as the sequential loop body does.
+
+    ``queries``/``truths`` may be passed to reuse already-built inputs
+    (the in-process path builds a factory workload and its exact answers
+    once per repetition); otherwise both are rebuilt from the cell's
+    seeds.
+    """
+    # Imported lazily: the runner imports this module at load time.
+    from .runner import build_mechanism, fit_sharded
+
+    dataset = memoized_dataset(config, repeat)
+    if queries is None:
+        if workload_factory is None:
+            queries = memoized_workload(config, repeat)
+            truths = memoized_truths(config, repeat, dataset, queries)
+        else:
+            from ..queries import answer_workload
+            memo_key = json.dumps(
+                [config_fingerprint(config), repeat,
+                 _factory_identity(workload_factory)],
+                sort_keys=True, default=str)
+
+            def build_factory_inputs():
+                built = workload_factory(config, dataset, repeat)
+                return built, answer_workload(dataset, built)
+
+            queries, truths = _factory_inputs_memo.get_or_build(
+                memo_key, build_factory_inputs)
+    elif truths is None:
+        from ..queries import answer_workload
+        truths = answer_workload(dataset, queries)
+
+    kwargs: dict[str, Any] = dict(config.mechanism_kwargs.get(method, {}))
+    method_seed = config.seed + 31 * repeat + position
+    mechanism = build_mechanism(method, config.epsilon, seed=method_seed,
+                                **kwargs)
+    if config.n_shards > 1 and mechanism.supports_sharding:
+        mechanism = fit_sharded(method, method_seed, kwargs, dataset, config)
+    else:
+        mechanism.fit(dataset)
+    mechanism.use_legacy_answering = config.query_engine == "legacy"
+    estimates = mechanism.answer_workload(queries)
+    return CellResult(method=method, repeat=repeat,
+                      mae=mean_absolute_error(estimates, truths),
+                      per_query_errors=absolute_errors(estimates, truths))
+
+
+def _evaluate_cell_task(payload: tuple) -> tuple[int, CellResult]:
+    """Worker-side entry point; must stay module-level for pickling."""
+    task_index, config, repeat, position, method, workload_factory = payload
+    result = evaluate_cell(config, repeat, position, method,
+                           workload_factory=workload_factory)
+    return task_index, result
+
+
+def _is_picklable(value: Any) -> bool:
+    try:
+        pickle.dumps(value)
+    except Exception:
+        return False
+    return True
+
+
+def resolve_n_jobs(configs: list[ExperimentConfig],
+                   n_jobs: int | None) -> int:
+    """The worker count for a grid: explicit override or the first config's."""
+    if n_jobs is not None:
+        return max(1, int(n_jobs))
+    if configs:
+        return max(1, int(configs[0].n_jobs))
+    return 1
+
+
+def execute_grid(configs: list[ExperimentConfig],
+                 workload_factory: WorkloadFactory | None = None,
+                 cache: ResultCache | None = None,
+                 n_jobs: int | None = None) -> list[dict[tuple[int, str],
+                                                         CellResult]]:
+    """Evaluate every cell of every configuration, in parallel when asked.
+
+    Parameters
+    ----------
+    configs:
+        The configuration points (one for ``run_experiment``, one per
+        sweep value for ``sweep_parameter``).  Each is validated first.
+    workload_factory:
+        Optional workload override.  Cells with a factory bypass the
+        result cache (the factory's output is not part of the cache
+        key) and, when parallel, the factory must be picklable and
+        deterministic in ``(config, dataset, repeat)`` — closures fall
+        back to in-process execution with a warning.
+    cache:
+        Optional on-disk cell cache; hits skip execution entirely.
+    n_jobs:
+        Worker-process count; defaults to the first config's ``n_jobs``
+        field.  ``1`` runs every cell in-process in deterministic order.
+
+    Returns
+    -------
+    list of dict
+        Per configuration, a map from ``(repeat, method)`` to that
+        cell's result.  Cells are bit-for-bit identical regardless of
+        ``n_jobs`` or cache state.
+    """
+    for config in configs:
+        config.validate()
+    jobs = resolve_n_jobs(configs, n_jobs)
+
+    # Repeat-major order: all config points of one repetition run
+    # consecutively, so a sweep whose points share data parameters hits
+    # the (FIFO-bounded) dataset memo instead of rebuilding each
+    # repetition's dataset once per point.  Cell results do not depend
+    # on execution order.
+    max_repeats = max((config.n_repeats for config in configs), default=0)
+    cells = [Cell(config_index, repeat, position, method)
+             for repeat in range(max_repeats)
+             for config_index, config in enumerate(configs)
+             if repeat < config.n_repeats
+             for position, method in enumerate(config.methods)]
+
+    outcomes: dict[Cell, CellResult] = {}
+    pending: list[Cell] = []
+    use_cache = cache is not None and workload_factory is None
+    for cell in cells:
+        if use_cache:
+            cached = cache.load(cell_key(configs[cell.config_index],
+                                         cell.repeat, cell.method))
+            if cached is not None:
+                outcomes[cell] = cached
+                continue
+        pending.append(cell)
+
+    if (jobs > 1 and pending and workload_factory is not None
+            and not _is_picklable(workload_factory)):
+        warnings.warn(
+            "workload_factory is not picklable (closure or lambda?); "
+            "falling back to in-process execution (n_jobs=1)",
+            stacklevel=2)
+        jobs = 1
+
+    def record(cell: Cell, result: CellResult) -> None:
+        """Keep a finished cell, persisting it immediately so an
+        interrupted run resumes from every cell it completed."""
+        outcomes[cell] = result
+        if use_cache:
+            cache.store(cell_key(configs[cell.config_index], cell.repeat,
+                                 cell.method), result)
+
+    if jobs == 1 or len(pending) <= 1:
+        # Build factory workloads (and their exact answers) once per
+        # (config, repetition), like the original sequential loop did.
+        factory_inputs: dict[tuple[int, int], tuple[list, np.ndarray]] = {}
+        for cell in pending:
+            config = configs[cell.config_index]
+            queries = truths = None
+            if workload_factory is not None:
+                inputs_key = (cell.config_index, cell.repeat)
+                if inputs_key not in factory_inputs:
+                    from ..queries import answer_workload
+                    dataset = memoized_dataset(config, cell.repeat)
+                    built = workload_factory(config, dataset, cell.repeat)
+                    factory_inputs[inputs_key] = (
+                        built, answer_workload(dataset, built))
+                queries, truths = factory_inputs[inputs_key]
+            record(cell, evaluate_cell(config, cell.repeat, cell.position,
+                                       cell.method,
+                                       workload_factory=workload_factory,
+                                       queries=queries, truths=truths))
+    else:
+        payloads = [(task_index, configs[cell.config_index], cell.repeat,
+                     cell.position, cell.method, workload_factory)
+                    for task_index, cell in enumerate(pending)]
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending))) as pool:
+            for task_index, result in pool.map(_evaluate_cell_task, payloads):
+                record(pending[task_index], result)
+
+    grouped: list[dict[tuple[int, str], CellResult]] = [{} for _ in configs]
+    for cell, result in outcomes.items():
+        grouped[cell.config_index][(cell.repeat, cell.method)] = result
+    return grouped
+
+
+def validate_equal_workload_lengths(config: ExperimentConfig,
+                                    cells: dict[tuple[int, str], CellResult]
+                                    ) -> None:
+    """Reject variable-length workloads across repetitions with a clear error.
+
+    Per-query errors are averaged over repetitions with ``np.stack``,
+    which needs every repetition's workload to have the same length; a
+    ``workload_factory`` that varies the query count per repetition used
+    to surface as an opaque stack-shape crash.
+    """
+    lengths: dict[int, int] = {}
+    for (repeat, _method), result in cells.items():
+        lengths.setdefault(repeat, int(result.per_query_errors.shape[0]))
+    distinct = sorted(set(lengths.values()))
+    if len(distinct) > 1:
+        detail = ", ".join(f"repeat {repeat}: {length} queries"
+                           for repeat, length in sorted(lengths.items()))
+        raise ValueError(
+            "workload_factory returned workloads of different lengths across "
+            f"repetitions ({detail}); per-query errors can only be averaged "
+            "over repetitions when every repetition answers the same number "
+            "of queries")
+
+
+def assemble_method_series(config: ExperimentConfig,
+                           cells: dict[tuple[int, str], CellResult],
+                           method: str) -> tuple[list[float], np.ndarray]:
+    """Per-repetition MAEs (in repeat order) and the averaged error vector."""
+    maes = [cells[(repeat, method)].mae for repeat in range(config.n_repeats)]
+    errors = np.stack([cells[(repeat, method)].per_query_errors
+                       for repeat in range(config.n_repeats)])
+    return maes, np.mean(errors, axis=0)

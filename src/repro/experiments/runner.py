@@ -5,6 +5,13 @@ into the numbers the paper plots: for every mechanism, the Mean Absolute
 Error over a random query workload, averaged over repetitions.  Parameter
 sweeps (the x-axes of the figures) reuse the same machinery by overriding
 one field per point.
+
+Both entry points route through :mod:`repro.experiments.executor`: the
+(sweep value, repetition, mechanism) cells are independent given the
+configuration seed, so they run on ``config.n_jobs`` worker processes —
+bit-for-bit identical to the sequential order — and an optional
+:class:`~repro.experiments.cache.ResultCache` skips cells a previous or
+interrupted run already completed.
 """
 
 from __future__ import annotations
@@ -16,11 +23,14 @@ import numpy as np
 
 from ..baselines import CALM, HIO, LHIO, MSW, Uniform
 from ..core import HDG, IHDG, ITDG, TDG, RangeQueryMechanism
-from ..datasets import Dataset, make_dataset
-from ..metrics import RepeatedRunSummary, absolute_errors, mean_absolute_error
+from ..datasets import Dataset
+from ..metrics import RepeatedRunSummary
 from ..pipeline import parallel_fit, shard_seed
-from ..queries import RangeQuery, WorkloadGenerator, answer_workload
+from ..queries import RangeQuery
+from .cache import ResultCache, memoized_dataset, memoized_workload
 from .config import ExperimentConfig
+from .executor import (assemble_method_series, execute_grid,
+                       validate_equal_workload_lengths)
 
 #: Registry of mechanism constructors keyed by the names used in the paper.
 MECHANISM_FACTORIES: dict[str, Callable[..., RangeQueryMechanism]] = {
@@ -79,13 +89,12 @@ class ExperimentResult:
 
 
 def _prepare_dataset(config: ExperimentConfig, repeat: int) -> Dataset:
-    rng = np.random.default_rng(config.seed + 1_000_003 * repeat)
-    return make_dataset(config.dataset, config.n_users, config.n_attributes,
-                        config.domain_size, rng=rng, **config.dataset_kwargs)
+    """The repetition's dataset (memoized while its parameters repeat)."""
+    return memoized_dataset(config, repeat)
 
 
-def _fit_sharded(method: str, method_seed: int, kwargs: dict[str, Any],
-                 dataset: Dataset, config: ExperimentConfig) -> RangeQueryMechanism:
+def fit_sharded(method: str, method_seed: int, kwargs: dict[str, Any],
+                dataset: Dataset, config: ExperimentConfig) -> RangeQueryMechanism:
     """Collect a shardable mechanism over n_shards parallel user shards."""
     def factory(shard_index: int) -> RangeQueryMechanism:
         return build_mechanism(method, config.epsilon,
@@ -97,62 +106,51 @@ def _fit_sharded(method: str, method_seed: int, kwargs: dict[str, Any],
 
 
 def _prepare_workload(config: ExperimentConfig, repeat: int) -> list[RangeQuery]:
-    rng = np.random.default_rng(config.seed + 7_000_003 * repeat + 17)
-    generator = WorkloadGenerator(config.n_attributes, config.domain_size, rng=rng)
-    return generator.random_workload(config.n_queries, config.query_dimension,
-                                     config.volume)
+    """The repetition's default workload (memoized like the dataset)."""
+    return memoized_workload(config, repeat)
+
+
+def _assemble_result(config: ExperimentConfig, cells) -> ExperimentResult:
+    """Fold a config point's cell results into one ExperimentResult."""
+    validate_equal_workload_lengths(config, cells)
+    result = ExperimentResult(config=config)
+    for method in config.methods:
+        maes, mean_errors = assemble_method_series(config, cells, method)
+        result.methods[method] = MethodResult(
+            method=method,
+            mae=RepeatedRunSummary.from_values(maes),
+            per_query_errors=mean_errors,
+        )
+    return result
 
 
 def run_experiment(config: ExperimentConfig,
                    workload_factory: Callable[[ExperimentConfig, Dataset, int],
-                                              list[RangeQuery]] | None = None
-                   ) -> ExperimentResult:
+                                              list[RangeQuery]] | None = None,
+                   cache: ResultCache | None = None) -> ExperimentResult:
     """Run one configuration: every mechanism on the same data and workload.
 
     Parameters
     ----------
     config:
-        The experiment point to evaluate.
+        The experiment point to evaluate.  ``config.n_jobs`` worker
+        processes evaluate the (repetition, mechanism) cells; any value
+        reproduces the sequential results bit-for-bit.
     workload_factory:
         Optional override producing the query workload from
         ``(config, dataset, repeat)``; used by the appendix experiments
         that need exhaustive or count-conditioned workloads instead of the
-        default random one.
+        default random one.  Every repetition's workload must have the
+        same length (per-query errors are averaged across repetitions).
+    cache:
+        Optional on-disk cell cache; completed cells are skipped on
+        re-runs.  Ignored when a ``workload_factory`` is given, since
+        the factory's output is not part of the cache key.
     """
     config.validate()
-    result = ExperimentResult(config=config)
-    per_method_maes: dict[str, list[float]] = {m: [] for m in config.methods}
-    per_method_errors: dict[str, list[np.ndarray]] = {m: [] for m in config.methods}
-
-    for repeat in range(config.n_repeats):
-        dataset = _prepare_dataset(config, repeat)
-        if workload_factory is None:
-            queries = _prepare_workload(config, repeat)
-        else:
-            queries = workload_factory(config, dataset, repeat)
-        truths = answer_workload(dataset, queries)
-        for position, method in enumerate(config.methods):
-            kwargs: dict[str, Any] = dict(config.mechanism_kwargs.get(method, {}))
-            method_seed = config.seed + 31 * repeat + position
-            mechanism = build_mechanism(method, config.epsilon,
-                                        seed=method_seed, **kwargs)
-            if config.n_shards > 1 and mechanism.supports_sharding:
-                mechanism = _fit_sharded(method, method_seed, kwargs,
-                                         dataset, config)
-            else:
-                mechanism.fit(dataset)
-            mechanism.use_legacy_answering = config.query_engine == "legacy"
-            estimates = mechanism.answer_workload(queries)
-            per_method_maes[method].append(mean_absolute_error(estimates, truths))
-            per_method_errors[method].append(absolute_errors(estimates, truths))
-
-    for method in config.methods:
-        result.methods[method] = MethodResult(
-            method=method,
-            mae=RepeatedRunSummary.from_values(per_method_maes[method]),
-            per_query_errors=np.mean(np.stack(per_method_errors[method]), axis=0),
-        )
-    return result
+    [cells] = execute_grid([config], workload_factory=workload_factory,
+                           cache=cache)
+    return _assemble_result(config, cells)
 
 
 @dataclass
@@ -188,18 +186,27 @@ def sweep_parameter(base_config: ExperimentConfig, parameter: str,
                     values: list[Any],
                     config_transform: Callable[[ExperimentConfig, Any],
                                                ExperimentConfig] | None = None,
-                    workload_factory=None) -> SweepResult:
+                    workload_factory=None,
+                    cache: ResultCache | None = None) -> SweepResult:
     """Evaluate ``base_config`` at each value of one field.
 
     ``config_transform`` may be supplied for sweeps that touch more than a
     single field (e.g. varying the covariance means changing
     ``dataset_kwargs``); by default the named field is simply replaced.
+
+    The whole (value, repetition, mechanism) grid is scheduled at once,
+    so with ``base_config.n_jobs > 1`` the sweep's points run
+    concurrently, and with ``cache`` set an interrupted or repeated
+    sweep only executes the cells it has not completed yet.
     """
-    results = []
+    configs = []
     for value in values:
         if config_transform is not None:
-            config = config_transform(base_config, value)
+            configs.append(config_transform(base_config, value))
         else:
-            config = base_config.with_overrides(**{parameter: value})
-        results.append(run_experiment(config, workload_factory=workload_factory))
+            configs.append(base_config.with_overrides(**{parameter: value}))
+    grids = execute_grid(configs, workload_factory=workload_factory,
+                         cache=cache, n_jobs=base_config.n_jobs)
+    results = [_assemble_result(config, cells)
+               for config, cells in zip(configs, grids)]
     return SweepResult(parameter=parameter, values=list(values), results=results)

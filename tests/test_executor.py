@@ -1,0 +1,252 @@
+"""Tests for the parallel experiment executor and the on-disk result cache."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import (ExperimentConfig, ResultCache, cell_key,
+                               run_experiment, sweep_parameter)
+from repro.experiments import cache as cache_module
+from repro.queries import WorkloadGenerator
+
+CONFIG = ExperimentConfig(dataset="normal", n_users=4_000, n_attributes=3,
+                          domain_size=16, epsilon=1.0, query_dimension=2,
+                          volume=0.5, n_queries=12, n_repeats=2,
+                          methods=("Uni", "TDG", "HDG"), seed=3)
+
+SWEEP_VALUES = [0.5, 1.0]
+
+
+def module_level_factory(config, dataset, repeat):
+    """Picklable workload factory for the parallel-execution tests."""
+    generator = WorkloadGenerator(config.n_attributes, config.domain_size,
+                                  rng=np.random.default_rng(config.seed + repeat))
+    return generator.random_workload(7, 2, 0.5)
+
+
+def variable_length_factory(config, dataset, repeat):
+    """Returns a different workload length per repetition (invalid)."""
+    generator = WorkloadGenerator(config.n_attributes, config.domain_size,
+                                  rng=np.random.default_rng(repeat))
+    return generator.random_workload(5 + repeat, 2, 0.5)
+
+
+def assert_results_identical(first, second):
+    assert set(first.methods) == set(second.methods)
+    for method in first.methods:
+        assert first.methods[method].mae == second.methods[method].mae
+        assert np.array_equal(first.methods[method].per_query_errors,
+                              second.methods[method].per_query_errors)
+
+
+# ----------------------------------------------------------------------
+# Parallel == sequential equivalence
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_jobs", [1, 2, 4])
+def test_run_experiment_parallel_equals_sequential(n_jobs):
+    sequential = run_experiment(CONFIG)
+    parallel = run_experiment(CONFIG.with_overrides(n_jobs=n_jobs))
+    assert_results_identical(sequential, parallel)
+
+
+@pytest.mark.parametrize("n_jobs", [2, 4])
+def test_sweep_parallel_equals_sequential(n_jobs):
+    sequential = sweep_parameter(CONFIG, "epsilon", SWEEP_VALUES)
+    parallel = sweep_parameter(CONFIG.with_overrides(n_jobs=n_jobs),
+                               "epsilon", SWEEP_VALUES)
+    assert sequential.series() == parallel.series()
+    for left, right in zip(sequential.results, parallel.results):
+        assert_results_identical(left, right)
+
+
+def test_parallel_with_picklable_workload_factory():
+    sequential = run_experiment(CONFIG, workload_factory=module_level_factory)
+    parallel = run_experiment(CONFIG.with_overrides(n_jobs=2),
+                              workload_factory=module_level_factory)
+    assert_results_identical(sequential, parallel)
+
+
+def test_unpicklable_workload_factory_falls_back_with_warning():
+    captured = []
+
+    def closure_factory(config, dataset, repeat):
+        captured.append(repeat)
+        return module_level_factory(config, dataset, repeat)
+
+    with pytest.warns(UserWarning, match="not picklable"):
+        result = run_experiment(CONFIG.with_overrides(n_jobs=2),
+                                workload_factory=closure_factory)
+    assert sorted(set(captured)) == [0, 1]
+    assert_results_identical(run_experiment(CONFIG,
+                                            workload_factory=module_level_factory),
+                             result)
+
+
+# ----------------------------------------------------------------------
+# Satellite: equal workload lengths across repetitions
+# ----------------------------------------------------------------------
+def test_variable_length_workloads_raise_clear_error():
+    with pytest.raises(ValueError, match="different lengths across"):
+        run_experiment(CONFIG.with_overrides(methods=("Uni",)),
+                       workload_factory=variable_length_factory)
+
+
+def test_equal_length_workload_factory_still_accepted():
+    result = run_experiment(CONFIG.with_overrides(methods=("Uni",)),
+                            workload_factory=module_level_factory)
+    assert result.methods["Uni"].per_query_errors.shape == (7,)
+
+
+# ----------------------------------------------------------------------
+# Result cache: round trip, hit/miss accounting, invalidation
+# ----------------------------------------------------------------------
+def test_cache_round_trip_and_all_hits_on_rerun(tmp_path):
+    first_cache = ResultCache(tmp_path)
+    first = sweep_parameter(CONFIG, "epsilon", SWEEP_VALUES, cache=first_cache)
+    expected_cells = (len(SWEEP_VALUES) * CONFIG.n_repeats
+                      * len(CONFIG.methods))
+    assert first_cache.hits == 0
+    assert first_cache.misses == expected_cells
+    assert len(first_cache) == expected_cells
+
+    second_cache = ResultCache(tmp_path)
+    second = sweep_parameter(CONFIG, "epsilon", SWEEP_VALUES,
+                             cache=second_cache)
+    assert second_cache.misses == 0
+    assert second_cache.hits == expected_cells
+    for left, right in zip(first.results, second.results):
+        assert_results_identical(left, right)
+
+
+def test_cached_results_equal_uncached(tmp_path):
+    cache = ResultCache(tmp_path)
+    sweep_parameter(CONFIG, "epsilon", SWEEP_VALUES, cache=cache)
+    cached = sweep_parameter(CONFIG, "epsilon", SWEEP_VALUES,
+                             cache=ResultCache(tmp_path))
+    uncached = sweep_parameter(CONFIG, "epsilon", SWEEP_VALUES)
+    for left, right in zip(cached.results, uncached.results):
+        assert_results_identical(left, right)
+
+
+def test_cache_invalidation_on_config_change(tmp_path):
+    run_experiment(CONFIG, cache=ResultCache(tmp_path))
+    changed = ResultCache(tmp_path)
+    run_experiment(CONFIG.with_overrides(epsilon=2.0), cache=changed)
+    assert changed.hits == 0
+    assert changed.misses == CONFIG.n_repeats * len(CONFIG.methods)
+
+
+def test_cache_reused_when_repetitions_grow(tmp_path):
+    run_experiment(CONFIG, cache=ResultCache(tmp_path))
+    grown = ResultCache(tmp_path)
+    run_experiment(CONFIG.with_overrides(n_repeats=3), cache=grown)
+    assert grown.hits == 2 * len(CONFIG.methods)
+    assert grown.misses == len(CONFIG.methods)
+
+
+def test_cache_keys_are_stable_and_method_sensitive():
+    key = cell_key(CONFIG, 0, "TDG")
+    assert key == cell_key(CONFIG, 0, "TDG")
+    assert key != cell_key(CONFIG, 1, "TDG")
+    assert key != cell_key(CONFIG, 0, "HDG")
+    assert key != cell_key(CONFIG.with_overrides(epsilon=0.5), 0, "TDG")
+    # Execution-only knobs do not invalidate.
+    assert key == cell_key(CONFIG.with_overrides(n_jobs=4), 0, "TDG")
+    assert key == cell_key(CONFIG.with_overrides(n_repeats=7), 0, "TDG")
+
+
+def test_corrupt_cache_entry_counts_as_miss_and_is_repaired(tmp_path):
+    cache = ResultCache(tmp_path)
+    run_experiment(CONFIG.with_overrides(methods=("Uni",), n_repeats=1),
+                   cache=cache)
+    [entry] = list(tmp_path.glob("*.json"))
+    entry.write_text("{not json")
+    repaired = ResultCache(tmp_path)
+    run_experiment(CONFIG.with_overrides(methods=("Uni",), n_repeats=1),
+                   cache=repaired)
+    assert repaired.misses == 1
+    json.loads(entry.read_text())  # repaired entry is valid again
+
+
+def test_interrupted_run_keeps_completed_cells(tmp_path, monkeypatch):
+    from repro.experiments import executor as executor_module
+
+    real_evaluate = executor_module.evaluate_cell
+    calls = []
+
+    def failing_evaluate(*args, **kwargs):
+        if len(calls) == 2:
+            raise KeyboardInterrupt
+        calls.append(args)
+        return real_evaluate(*args, **kwargs)
+
+    monkeypatch.setattr(executor_module, "evaluate_cell", failing_evaluate)
+    interrupted = ResultCache(tmp_path)
+    with pytest.raises(KeyboardInterrupt):
+        run_experiment(CONFIG.with_overrides(n_repeats=1), cache=interrupted)
+    # The two cells finished before the interruption were persisted.
+    assert len(interrupted) == 2
+
+    monkeypatch.setattr(executor_module, "evaluate_cell", real_evaluate)
+    resumed = ResultCache(tmp_path)
+    result = run_experiment(CONFIG.with_overrides(n_repeats=1), cache=resumed)
+    assert resumed.hits == 2 and resumed.misses == 1
+    assert_results_identical(result,
+                             run_experiment(CONFIG.with_overrides(n_repeats=1)))
+
+
+def test_cache_ignored_with_workload_factory(tmp_path):
+    cache = ResultCache(tmp_path)
+    run_experiment(CONFIG.with_overrides(methods=("Uni",), n_repeats=1),
+                   workload_factory=module_level_factory, cache=cache)
+    assert cache.hits == 0 and cache.misses == 0
+    assert len(cache) == 0
+
+
+# ----------------------------------------------------------------------
+# Satellite: dataset/workload memoization within a sweep
+# ----------------------------------------------------------------------
+def test_epsilon_sweep_builds_dataset_once_per_repeat(monkeypatch):
+    cache_module.clear_memos()
+    calls = []
+    real_build = cache_module.build_dataset
+
+    def counting_build(config, repeat):
+        calls.append(repeat)
+        return real_build(config, repeat)
+
+    monkeypatch.setattr(cache_module, "build_dataset", counting_build)
+    sweep_parameter(CONFIG.with_overrides(methods=("Uni",)), "epsilon",
+                    [0.4, 0.8, 1.6])
+    # One dataset per repetition, shared across all three epsilon points.
+    assert sorted(calls) == [0, 1]
+    cache_module.clear_memos()
+
+
+def test_domain_sweep_regenerates_dataset_per_point(monkeypatch):
+    cache_module.clear_memos()
+    calls = []
+    real_build = cache_module.build_dataset
+
+    def counting_build(config, repeat):
+        calls.append((config.domain_size, repeat))
+        return real_build(config, repeat)
+
+    monkeypatch.setattr(cache_module, "build_dataset", counting_build)
+    sweep_parameter(CONFIG.with_overrides(methods=("Uni",), n_repeats=1),
+                    "domain_size", [16, 32])
+    assert sorted(calls) == [(16, 0), (32, 0)]
+    cache_module.clear_memos()
+
+
+def test_memoized_dataset_is_identical_to_fresh_build():
+    cache_module.clear_memos()
+    memoized = cache_module.memoized_dataset(CONFIG, 0)
+    again = cache_module.memoized_dataset(CONFIG, 0)
+    assert memoized is again
+    fresh = cache_module.build_dataset(CONFIG, 0)
+    assert np.array_equal(memoized.values, fresh.values)
+    cache_module.clear_memos()
