@@ -1,0 +1,156 @@
+"""Ingest and query throughput of the online serving subsystem.
+
+PR 4 added a long-lived query service (``repro.serving``): privatized
+reports stream in through the shard ``partial_fit`` path, a re-finalize
+swaps in a fresh estimator, and workloads are answered over a stdlib
+JSON-over-HTTP API.  This benchmark measures that serving loop
+end-to-end against a live in-process ``ThreadingHTTPServer``:
+
+* **ingest** — reports/sec through ``POST /ingest`` (JSON rows in,
+  accumulator update, receipt out);
+* **re-finalize** — seconds for one ``POST /refinalize`` (Phase 2 on
+  the accumulated counts);
+* **query (HTTP)** — queries/sec through ``POST /query`` on a mixed-λ
+  workload;
+* **query (in-process)** — the same workload straight through
+  ``QueryService.query``, isolating the HTTP + JSON overhead.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py --smoke
+
+``--smoke`` shrinks the load so CI exercises the whole path in a few
+seconds.  Every run appends a record to the ``BENCH_fit.json``
+trajectory artifact at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _scale import append_trajectory, report  # noqa: E402
+
+from repro.datasets import make_dataset  # noqa: E402
+from repro.queries import WorkloadGenerator  # noqa: E402
+from repro.serving import (QueryService, build_server,  # noqa: E402
+                           query_to_wire)
+
+
+def _post(port: int, path: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.loads(response.read())
+
+
+def run(n_batches: int, batch_size: int, n_attributes: int, domain_size: int,
+        n_queries: int, query_rounds: int, epsilon: float, seed: int,
+        smoke: bool) -> tuple[str, dict]:
+    rng = np.random.default_rng(seed)
+    total_users = n_batches * batch_size
+    dataset = make_dataset("normal", total_users, n_attributes, domain_size,
+                           rng=rng)
+    generator = WorkloadGenerator(n_attributes, domain_size,
+                                  rng=np.random.default_rng(seed + 1))
+    workload = (generator.random_workload(n_queries // 2, 2, 0.5)
+                + generator.random_workload(n_queries - n_queries // 2, 3, 0.5))
+    wire_workload = [query_to_wire(query) for query in workload]
+
+    service = QueryService("HDG", epsilon, seed=seed,
+                           domain_size=domain_size, total_users=total_users)
+    server = build_server(service, port=0)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        # Ingest: one POST per batch of privatized reports.
+        start = time.perf_counter()
+        for index in range(n_batches):
+            rows = dataset.values[index * batch_size:(index + 1) * batch_size]
+            receipt = _post(port, "/ingest", {"rows": rows.tolist()})
+        ingest_seconds = time.perf_counter() - start
+        assert receipt["total_reports"] == total_users
+
+        start = time.perf_counter()
+        _post(port, "/refinalize", {})
+        refinalize_seconds = time.perf_counter() - start
+
+        # Queries over HTTP, then the same workload in-process.
+        start = time.perf_counter()
+        for _ in range(query_rounds):
+            answered = _post(port, "/query", {"queries": wire_workload})
+        http_seconds = time.perf_counter() - start
+        assert answered["count"] == len(workload)
+        assert all(np.isfinite(answered["answers"]))
+
+        start = time.perf_counter()
+        for _ in range(query_rounds):
+            in_process = service.query(workload)
+        direct_seconds = time.perf_counter() - start
+        assert np.isfinite(in_process).all()
+    finally:
+        server.shutdown()
+        server.server_close()
+
+    ingest_rate = total_users / ingest_seconds
+    http_rate = query_rounds * len(workload) / http_seconds
+    direct_rate = query_rounds * len(workload) / direct_seconds
+    lines = [
+        f"serving throughput: HDG eps={epsilon} d={n_attributes} "
+        f"c={domain_size} ({'smoke' if smoke else 'full'})",
+        f"  ingest            : {total_users:>8} reports in "
+        f"{ingest_seconds:6.2f}s  -> {ingest_rate:10.1f} reports/sec",
+        f"  re-finalize       : {refinalize_seconds:6.3f}s",
+        f"  query over HTTP   : {query_rounds * len(workload):>8} queries in "
+        f"{http_seconds:6.2f}s  -> {http_rate:10.1f} queries/sec",
+        f"  query in-process  : {query_rounds * len(workload):>8} queries in "
+        f"{direct_seconds:6.2f}s  -> {direct_rate:10.1f} queries/sec",
+    ]
+    entry = {
+        "mode": "smoke" if smoke else "full",
+        "n_reports": total_users,
+        "n_queries": query_rounds * len(workload),
+        "ingest_reports_per_sec": round(ingest_rate, 1),
+        "refinalize_seconds": round(refinalize_seconds, 4),
+        "http_queries_per_sec": round(http_rate, 1),
+        "in_process_queries_per_sec": round(direct_rate, 1),
+    }
+    return "\n".join(lines), entry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: small batches, few queries")
+    parser.add_argument("--epsilon", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        settings = dict(n_batches=4, batch_size=500, n_attributes=3,
+                        domain_size=16, n_queries=40, query_rounds=3)
+    else:
+        settings = dict(n_batches=20, batch_size=5_000, n_attributes=4,
+                        domain_size=32, n_queries=200, query_rounds=10)
+    text, entry = run(epsilon=args.epsilon, seed=args.seed, smoke=args.smoke,
+                      **settings)
+    report("serving_throughput", text)
+    append_trajectory("serving_throughput", entry)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,11 +10,12 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-ldp-range-queries",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of 'Answering Multi-Dimensional Range Queries under "
         "Local Differential Privacy' (Yang et al., VLDB 2020): TDG/HDG "
-        "mechanisms, baselines, and a shard-mergeable aggregation pipeline"
+        "mechanisms, baselines, a shard-mergeable aggregation pipeline and "
+        "an online query-serving subsystem with snapshot persistence"
     ),
     long_description=open("README.md", encoding="utf-8").read(),
     long_description_content_type="text/markdown",

@@ -9,6 +9,10 @@ query workloads, post-processing, metrics and a per-figure experiment
 harness.  Collection is shard-mergeable: mechanisms support
 ``partial_fit`` / ``merge`` / ``finalize`` and the :mod:`repro.pipeline`
 package streams, parallelises and serializes the per-shard state.
+Fitted estimators snapshot and restore bitwise
+(``save_state``/``load_state``), and :mod:`repro.serving` serves them as
+a long-lived HTTP query service with incremental ingest
+(``repro serve``).
 
 Quickstart
 ----------
@@ -32,8 +36,9 @@ from .frequency_oracles import (GeneralizedRandomizedResponse, OptimizedLocalHas
 from .metrics import absolute_errors, mean_absolute_error
 from .pipeline import ShardAggregator, parallel_fit, shard_dataset
 from .queries import Predicate, RangeQuery, WorkloadGenerator, answer_query, answer_workload
+from .serving import QueryService, SnapshotStore, restore_mechanism
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CALM",
@@ -50,9 +55,11 @@ __all__ = [
     "MSW",
     "OptimizedLocalHash",
     "Predicate",
+    "QueryService",
     "RangeQuery",
     "RangeQueryMechanism",
     "ShardAggregator",
+    "SnapshotStore",
     "SquareWave",
     "SupportAccumulator",
     "TDG",
@@ -71,6 +78,7 @@ __all__ = [
     "make_dataset",
     "mean_absolute_error",
     "parallel_fit",
+    "restore_mechanism",
     "run_experiment",
     "shard_dataset",
     "sweep_parameter",

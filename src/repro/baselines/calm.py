@@ -45,3 +45,10 @@ class CALM(TDG):
         # No binning: every marginal cell is a single 2-D value.
         self.granularity = dataset.domain_size
         super()._fit(dataset)
+
+    def _snapshot_config(self) -> dict:
+        config = super()._snapshot_config()
+        # Pinned at fit time / fixed by the paper's configuration; not
+        # accepted by CALM's constructor.
+        del config["granularity"], config["alpha2"]
+        return config

@@ -98,6 +98,55 @@ class HIO(RangeQueryMechanism):
         self._lazy_cache = {}
 
     # ------------------------------------------------------------------
+    # Fitted-state serialization (snapshots; see docs/serving.md)
+    #
+    # HIO answers lazily: levels are materialised (drawing OLH
+    # randomness) and over-limit intervals draw simulation noise on
+    # first touch.  A bitwise-faithful snapshot therefore carries the
+    # group assignment, every cache filled so far and — because future
+    # lookups re-read the raw records — the dataset itself; the RNG
+    # state travels in the base-class envelope.
+    # ------------------------------------------------------------------
+    def _snapshot_config(self) -> dict:
+        return {"branching": self.branching,
+                "materialize_limit": self.materialize_limit,
+                "oracle_mode": self.oracle_mode}
+
+    def _state_payload(self) -> dict:
+        assert self._dataset is not None
+        assert self._group_order is not None and self._group_offsets is not None
+        return {
+            "dataset": self._dataset.to_dict(),
+            "group_order": self._group_order.tolist(),
+            "group_offsets": self._group_offsets.tolist(),
+            "materialized": {
+                ",".join(str(part) for part in level): estimates.tolist()
+                for level, estimates in self._materialized.items()},
+            "lazy_cache": [[list(level), list(indices), value]
+                           for (level, indices), value
+                           in self._lazy_cache.items()],
+        }
+
+    def _restore_state_payload(self, payload: dict) -> None:
+        self._dataset = Dataset.from_dict(payload["dataset"])
+        self.hierarchy = IntervalHierarchy(self._dataset.domain_size,
+                                           self.branching)
+        all_levels = list(product(range(self.hierarchy.n_levels),
+                                  repeat=self._n_attributes))
+        self._level_index = {level: i for i, level in enumerate(all_levels)}
+        self._group_order = np.asarray(payload["group_order"], dtype=np.int64)
+        self._group_offsets = np.asarray(payload["group_offsets"],
+                                         dtype=np.int64)
+        self._materialized = {
+            tuple(int(part) for part in key.split(",")):
+                np.asarray(estimates, dtype=float)
+            for key, estimates in payload["materialized"].items()}
+        self._lazy_cache = {
+            (tuple(int(part) for part in level),
+             tuple(int(part) for part in indices)): float(value)
+            for level, indices, value in payload["lazy_cache"]}
+
+    # ------------------------------------------------------------------
     # Group and level helpers
     # ------------------------------------------------------------------
     def _group_members(self, level: tuple[int, ...]) -> np.ndarray:

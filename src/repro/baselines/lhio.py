@@ -169,6 +169,69 @@ class LHIO(PairwiseBatchAnswering, RangeQueryMechanism):
             pair_hierarchy.levels, self.hierarchy.branching, heights)
 
     # ------------------------------------------------------------------
+    # Fitted-state serialization (snapshots; see docs/serving.md)
+    #
+    # At the paper's scale every 2-dim level is materialised and the
+    # payload is the per-pair level arrays alone.  Hierarchies with
+    # over-limit (lazy) levels additionally need the group membership,
+    # the lazy-noise cache and the dataset (lazy lookups re-read raw
+    # records); the RNG state travels in the base-class envelope so
+    # restored lazy draws continue the exact same stream.
+    # ------------------------------------------------------------------
+    def _snapshot_config(self) -> dict:
+        return {"branching": self.branching,
+                "materialize_limit": self.materialize_limit,
+                "consistency": self.consistency,
+                "oracle_mode": self.oracle_mode,
+                "estimation_method": self.estimation_method}
+
+    def _state_payload(self) -> dict:
+        has_lazy = any(pair_hierarchy.lazy_groups
+                       for pair_hierarchy in self._pairs.values())
+        dataset = None
+        if has_lazy:
+            assert self._dataset is not None
+            dataset = self._dataset.to_dict()
+        return {
+            "dataset": dataset,
+            "pairs": {
+                f"{a},{b}": {
+                    "levels": {f"{l0},{l1}": values.tolist()
+                               for (l0, l1), values
+                               in pair_hierarchy.levels.items()},
+                    "lazy_groups": {f"{l0},{l1}": members.tolist()
+                                    for (l0, l1), members
+                                    in pair_hierarchy.lazy_groups.items()},
+                    "lazy_cache": [[list(level), row, col, value]
+                                   for (level, row, col), value
+                                   in pair_hierarchy.lazy_cache.items()],
+                }
+                for (a, b), pair_hierarchy in self._pairs.items()},
+        }
+
+    def _restore_state_payload(self, payload: dict) -> None:
+        self.hierarchy = IntervalHierarchy(self._domain_size, self.branching)
+        data = payload.get("dataset")
+        self._dataset = Dataset.from_dict(data) if data is not None else None
+        self._pairs = {}
+        for key, entry in payload["pairs"].items():
+            a, b = (int(part) for part in key.split(","))
+            pair_hierarchy = _PairHierarchy((a, b), self.hierarchy)
+            pair_hierarchy.levels = {
+                tuple(int(part) for part in level_key.split(",")):
+                    np.asarray(values, dtype=float)
+                for level_key, values in entry["levels"].items()}
+            pair_hierarchy.lazy_groups = {
+                tuple(int(part) for part in level_key.split(",")):
+                    np.asarray(members, dtype=np.int64)
+                for level_key, members in entry["lazy_groups"].items()}
+            pair_hierarchy.lazy_cache = {
+                (tuple(int(part) for part in level), int(row), int(col)):
+                    float(value)
+                for level, row, col, value in entry["lazy_cache"]}
+            self._pairs[(a, b)] = pair_hierarchy
+
+    # ------------------------------------------------------------------
     # Answering
     # ------------------------------------------------------------------
     def _pair_hierarchy(self, attr_a: int, attr_b: int) -> tuple[_PairHierarchy, bool]:
@@ -179,7 +242,10 @@ class LHIO(PairwiseBatchAnswering, RangeQueryMechanism):
         raise KeyError(f"no hierarchy for attribute pair ({attr_a}, {attr_b})")
 
     def _answer_pair(self, query: RangeQuery) -> float:
-        assert self.hierarchy is not None and self._dataset is not None
+        # The dataset is only dereferenced on lazy-level cache misses, so
+        # a restored snapshot with every level materialised answers with
+        # self._dataset == None.
+        assert self.hierarchy is not None
         attr_a, attr_b = query.attributes
         pair_hierarchy, flipped = self._pair_hierarchy(attr_a, attr_b)
         interval_a = query.interval(attr_a)

@@ -66,6 +66,26 @@ class MSW(RangeQueryMechanism):
             attribute: np.concatenate(([0.0], np.cumsum(distribution)))
             for attribute, distribution in self.distributions.items()}
 
+    # ------------------------------------------------------------------
+    # Fitted-state serialization (snapshots; see docs/serving.md)
+    # ------------------------------------------------------------------
+    def _snapshot_config(self) -> dict:
+        return {"em_iterations": self.em_iterations,
+                "smoothing": self.smoothing}
+
+    def _state_payload(self) -> dict:
+        return {"distributions": {str(attribute): distribution.tolist()
+                                  for attribute, distribution
+                                  in self.distributions.items()}}
+
+    def _restore_state_payload(self, payload: dict) -> None:
+        self.distributions = {
+            int(attribute): np.asarray(distribution, dtype=float)
+            for attribute, distribution in payload["distributions"].items()}
+        self._prefixes = {
+            attribute: np.concatenate(([0.0], np.cumsum(distribution)))
+            for attribute, distribution in self.distributions.items()}
+
     def _interval_mass(self, attribute: int, low: int, high: int) -> float:
         prefix = self._prefixes[attribute]
         return float(prefix[high + 1] - prefix[low])

@@ -29,6 +29,14 @@ class Uniform(RangeQueryMechanism):
         # Only the domain metadata captured by the base class is needed.
         return None
 
+    def _state_payload(self) -> dict:
+        # Uni's whole fitted state is the (d, c) metadata the base
+        # class serializes; the payload is empty on purpose.
+        return {}
+
+    def _restore_state_payload(self, payload: dict) -> None:
+        return None
+
     def _answer(self, query: RangeQuery) -> float:
         assert self._domain_size is not None
         return query.volume(self._domain_size)

@@ -1,6 +1,6 @@
 """Command-line interface for running reproduction experiments.
 
-Five subcommands mirror how the library is typically used:
+Seven subcommands mirror how the library is typically used:
 
 ``run``
     Evaluate a set of mechanisms once on one configuration and print the
@@ -19,6 +19,14 @@ Five subcommands mirror how the library is typically used:
     Merge serialized shard states (written by ``shard-demo --save-state``
     or :meth:`repro.pipeline.ShardAggregator.save`) into one aggregator
     and print or save the combined state.
+``serve``
+    Run the long-lived JSON-over-HTTP query service
+    (:mod:`repro.serving`): ingest privatized reports incrementally,
+    re-finalize on a policy, answer workloads, write snapshots.
+``snapshot``
+    Manage the versioned on-disk snapshot store: ``create`` one from a
+    freshly collected dataset, ``list`` stored versions, ``inspect``
+    one document.
 
 Examples
 --------
@@ -29,6 +37,9 @@ python -m repro.cli sweep --parameter epsilon --values 0.2 0.5 1.0 2.0 \\
 python -m repro.cli table2 --d 6 --lg-n 6.0
 python -m repro.cli shard-demo --shards 4 --save-state /tmp/shards
 python -m repro.cli merge /tmp/shards/shard*.json --output /tmp/merged.json
+python -m repro.cli serve --mechanism HDG --refinalize-every 5000 \\
+    --snapshot-dir /tmp/snapshots --port 8125
+python -m repro.cli snapshot list --dir /tmp/snapshots
 """
 
 from __future__ import annotations
@@ -48,6 +59,7 @@ from .metrics import mean_absolute_error
 from .pipeline import (ParallelFitReport, ShardAggregator, merge_aggregators,
                        parallel_fit, shard_seed, write_state)
 from .queries import WorkloadGenerator, answer_workload
+from .serving import QueryService, SnapshotStore, build_server, serve
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -222,6 +234,126 @@ def _command_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_streaming_service(args: argparse.Namespace) -> QueryService:
+    service = QueryService(args.mechanism, args.epsilon, seed=args.seed,
+                           refinalize_every=args.refinalize_every,
+                           total_users=args.total_users,
+                           domain_size=args.domain_size)
+    if args.bootstrap_dataset:
+        rng = np.random.default_rng(args.seed)
+        dataset = make_dataset(args.bootstrap_dataset, args.n_users,
+                               args.n_attributes, args.domain_size, rng=rng)
+        service.ingest(dataset)
+        service.refinalize()
+    return service
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    store = None
+    if args.snapshot_dir:
+        store = SnapshotStore(args.snapshot_dir, keep_last=args.keep_last)
+    if args.restore:
+        if store is None:
+            print("--restore requires --snapshot-dir", file=sys.stderr)
+            return 2
+        try:
+            service = QueryService.from_snapshot(
+                store, version=args.snapshot_version, seed=args.seed)
+        except FileNotFoundError as error:
+            print(f"cannot restore: {error}", file=sys.stderr)
+            return 2
+    else:
+        service = _build_streaming_service(args)
+
+    server = build_server(service, host=args.host, port=args.port,
+                          snapshot_store=store, verbose=args.verbose)
+    host, port = server.server_address[:2]
+    status = service.status()
+    print(f"serving {status['mechanism']} (eps={status['epsilon']}, "
+          f"mode={status['mode']}, ready={status['ready']}) "
+          f"on http://{host}:{port}", flush=True)
+    print("endpoints: GET /healthz  POST /ingest  POST /query  "
+          "POST /refinalize  POST|GET /snapshot", flush=True)
+    try:
+        serve(server, max_requests=args.max_requests)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _command_snapshot(args: argparse.Namespace) -> int:
+    store = SnapshotStore(args.dir, keep_last=getattr(args, "keep_last", None))
+    if args.action == "create":
+        service = _build_streaming_service(args)
+        info = service.save_snapshot(store)
+        status = service.status()
+        print(f"wrote snapshot version {info.version} "
+              f"({status['mechanism']}, eps={status['epsilon']}, "
+              f"{status['reports_ingested']} reports) -> {info.path}")
+        return 0
+    if args.action == "list":
+        versions = store.versions()
+        if not versions:
+            print(f"{store.directory}: no snapshots")
+            return 0
+        latest = store.latest_version()
+        for version in versions:
+            path = store.path_of(version)
+            marker = "  <- latest" if version == latest else ""
+            print(f"  v{version:>4}  {path.stat().st_size:>10} bytes  "
+                  f"{path}{marker}")
+        return 0
+    # inspect
+    try:
+        state = store.load(args.version)
+    except FileNotFoundError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    estimator = state.get("estimator")
+    collector = state.get("collector")
+    print(f"format={state.get('format')} version={state.get('version')}")
+    print(f"mechanism={state.get('mechanism')} "
+          f"epsilon={state.get('epsilon')}")
+    print(f"reports_ingested={state.get('reports_ingested')} "
+          f"reports_since_finalize={state.get('reports_since_finalize')} "
+          f"finalize_count={state.get('finalize_count')}")
+    print(f"refinalize_every={state.get('refinalize_every')} "
+          f"total_users={state.get('total_users')}")
+    print(f"estimator={'present' if estimator else 'none'} "
+          f"collector={'present' if collector else 'none'}")
+    if estimator:
+        print(f"  estimator: d={estimator['n_attributes']} "
+              f"c={estimator['domain_size']} "
+              f"config={estimator.get('config')}")
+    return 0
+
+
+def _add_serving_mechanism_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--mechanism", default="HDG",
+                        choices=["TDG", "HDG", "ITDG", "IHDG"],
+                        help="shardable mechanism to collect and serve")
+    parser.add_argument("--epsilon", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--refinalize-every", type=int, default=None,
+                        metavar="N",
+                        help="re-run Phase 2 automatically after N newly "
+                             "ingested reports (default: on demand only)")
+    parser.add_argument("--total-users", type=int, default=None,
+                        help="expected total population; pins the guideline "
+                             "granularities up front")
+    parser.add_argument("--domain-size", type=int, default=64,
+                        help="attribute domain size c of ingested rows")
+    parser.add_argument("--bootstrap-dataset", default=None, metavar="NAME",
+                        help="warm-start: collect this generated dataset and "
+                             "finalize before serving")
+    parser.add_argument("--n-users", type=int, default=100_000,
+                        help="bootstrap dataset population")
+    parser.add_argument("--n-attributes", type=int, default=6,
+                        help="bootstrap dataset attribute count")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -270,6 +402,57 @@ def build_parser() -> argparse.ArgumentParser:
     merge_parser.add_argument("--finalize", action="store_true",
                               help="run Phase 2 on the merged state")
     merge_parser.set_defaults(handler=_command_merge)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the JSON-over-HTTP query service")
+    _add_serving_mechanism_arguments(serve_parser)
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8125,
+                              help="TCP port (0 binds any free port)")
+    serve_parser.add_argument("--snapshot-dir", default=None, metavar="DIR",
+                              help="enable the /snapshot endpoints against "
+                                   "this store")
+    serve_parser.add_argument("--keep-last", type=int, default=None,
+                              metavar="K",
+                              help="retain only the newest K snapshot "
+                                   "versions")
+    serve_parser.add_argument("--restore", action="store_true",
+                              help="restore service state from the snapshot "
+                                   "store instead of starting fresh")
+    serve_parser.add_argument("--snapshot-version", type=int, default=None,
+                              help="with --restore: load this version "
+                                   "instead of the latest")
+    serve_parser.add_argument("--max-requests", type=int, default=None,
+                              metavar="N",
+                              help="exit after serving N requests (smoke "
+                                   "tests; default: run until interrupted)")
+    serve_parser.add_argument("--verbose", action="store_true",
+                              help="log one line per handled request")
+    serve_parser.set_defaults(handler=_command_serve)
+
+    snapshot_parser = subparsers.add_parser(
+        "snapshot", help="manage the versioned snapshot store")
+    snapshot_actions = snapshot_parser.add_subparsers(dest="action",
+                                                      required=True)
+    create_parser = snapshot_actions.add_parser(
+        "create", help="collect a dataset and write a snapshot version")
+    create_parser.add_argument("--dir", required=True,
+                               help="snapshot store directory")
+    create_parser.add_argument("--keep-last", type=int, default=None,
+                               metavar="K")
+    _add_serving_mechanism_arguments(create_parser)
+    create_parser.set_defaults(handler=_command_snapshot,
+                               bootstrap_dataset="normal")
+    list_parser = snapshot_actions.add_parser(
+        "list", help="list stored snapshot versions")
+    list_parser.add_argument("--dir", required=True)
+    list_parser.set_defaults(handler=_command_snapshot)
+    inspect_parser = snapshot_actions.add_parser(
+        "inspect", help="print one snapshot document's summary")
+    inspect_parser.add_argument("--dir", required=True)
+    inspect_parser.add_argument("--version", type=int, default=None,
+                                help="version to inspect (default: latest)")
+    inspect_parser.set_defaults(handler=_command_snapshot)
     return parser
 
 

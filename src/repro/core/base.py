@@ -20,6 +20,16 @@ support an incremental, shard-mergeable protocol:
 ``partial_fit(data); finalize()``.  Mechanisms that only implement the
 one-shot protocol raise :class:`NotImplementedError` from the sharded
 entry points and report ``supports_sharding == False``.
+
+Fitted mechanisms additionally serialize to portable snapshot
+documents: :meth:`RangeQueryMechanism.save_state` captures everything
+Phase 3 reads — grids, response matrices, the RNG state of mechanisms
+whose answering path still draws noise — and
+:meth:`RangeQueryMechanism.load_state` restores it into a fresh
+instance whose ``answer``/``answer_workload`` output is bitwise
+identical to the live estimator's.  :mod:`repro.serving` builds the
+versioned on-disk snapshot store and the query service on top of these
+hooks.
 """
 
 from __future__ import annotations
@@ -30,6 +40,27 @@ import numpy as np
 
 from ..datasets import Dataset
 from ..queries import RangeQuery
+
+#: Format tag written into serialized fitted-mechanism states.
+MECHANISM_STATE_FORMAT = "repro.mechanism-state"
+MECHANISM_STATE_VERSION = 1
+
+
+def check_state_document(state: dict, expected_format: str,
+                         max_version: int) -> None:
+    """Validate a serialized state's format tag and schema version.
+
+    Shared by every deserialization entry point (mechanism states,
+    service snapshots) so foreign documents and future schema versions
+    fail with the same clear errors everywhere.
+    """
+    if state.get("format") != expected_format:
+        raise ValueError(f"not a {expected_format} document "
+                         f"(format={state.get('format')!r})")
+    if int(state.get("version", 0)) > max_version:
+        raise ValueError(
+            f"state version {state['version']} is newer than supported "
+            f"version {max_version}")
 
 
 class RangeQueryMechanism(abc.ABC):
@@ -173,6 +204,80 @@ class RangeQueryMechanism(abc.ABC):
         return type(self)._partial_fit is not RangeQueryMechanism._partial_fit
 
     # ------------------------------------------------------------------
+    # Fitted-state serialization (snapshots)
+    # ------------------------------------------------------------------
+    def save_state(self) -> dict:
+        """JSON-serialisable snapshot of the *fitted* estimator.
+
+        The document captures everything the answering path reads —
+        grid frequencies, response matrices, materialised hierarchy
+        levels, lazy-noise caches — plus the mechanism's RNG state, so
+        that a restored instance's ``answer_workload`` output is
+        bitwise identical to this instance's from the snapshot point
+        on.  Restore with :meth:`load_state` (same class, fresh
+        instance) or :func:`repro.serving.restore_mechanism` (builds
+        the instance from the document's ``config``).
+        """
+        self._require_fitted()
+        return {
+            "format": MECHANISM_STATE_FORMAT,
+            "version": MECHANISM_STATE_VERSION,
+            "mechanism": self.name,
+            "epsilon": self.epsilon,
+            "n_attributes": self._n_attributes,
+            "domain_size": self._domain_size,
+            "config": self._snapshot_config(),
+            "rng_state": self.rng.bit_generator.state,
+            "payload": self._state_payload(),
+        }
+
+    def load_state(self, state: dict) -> "RangeQueryMechanism":
+        """Restore a fitted state produced by :meth:`save_state`.
+
+        The receiving instance must be fresh (never fitted) and of the
+        same mechanism class and privacy budget the state was saved
+        from; construction parameters that shape answering (estimation
+        method, iteration caps, ...) travel in ``state["config"]`` and
+        are applied by :func:`repro.serving.restore_mechanism`.
+        """
+        if self._fitted:
+            raise RuntimeError("state can only be loaded into a fresh "
+                               f"{type(self).__name__} instance")
+        check_state_document(state, MECHANISM_STATE_FORMAT,
+                             MECHANISM_STATE_VERSION)
+        if state["mechanism"] != self.name:
+            raise ValueError(f"state belongs to {state['mechanism']!r}, "
+                             f"not {self.name!r}")
+        if float(state["epsilon"]) != self.epsilon:
+            raise ValueError("state was collected under a different epsilon")
+        self._n_attributes = int(state["n_attributes"])
+        self._domain_size = int(state["domain_size"])
+        self.rng.bit_generator.state = state["rng_state"]
+        self._restore_state_payload(state["payload"])
+        self._fitted = True
+        return self
+
+    def _snapshot_config(self) -> dict:
+        """Constructor keyword arguments needed to rebuild this instance."""
+        return {}
+
+    def _state_payload(self) -> dict:
+        """Mechanism-specific fitted state (hook for :meth:`save_state`)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state snapshots")
+
+    def _restore_state_payload(self, payload: dict) -> None:
+        """Rebuild the fitted state from :meth:`_state_payload` output."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state snapshots")
+
+    @property
+    def supports_snapshot(self) -> bool:
+        """Whether save_state/load_state are implemented."""
+        return (type(self)._state_payload
+                is not RangeQueryMechanism._state_payload)
+
+    # ------------------------------------------------------------------
     # Query answering
     # ------------------------------------------------------------------
     def answer(self, query: RangeQuery) -> float:
@@ -214,6 +319,7 @@ class RangeQueryMechanism(abc.ABC):
     # ------------------------------------------------------------------
     @property
     def is_fitted(self) -> bool:
+        """Whether collection finished (``fit`` ran or ``finalize`` was called)."""
         return self._fitted
 
     def _require_fitted(self) -> None:

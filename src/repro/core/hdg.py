@@ -322,6 +322,76 @@ class HDG(PairwiseBatchAnswering, RangeQueryMechanism):
             for pair in pairs}
         return self
 
+    # ------------------------------------------------------------------
+    # Fitted-state serialization (snapshots; see docs/serving.md)
+    # ------------------------------------------------------------------
+    def _snapshot_config(self) -> dict:
+        return {
+            "granularities": (list(self.granularities)
+                              if self.granularities is not None else None),
+            "alpha1": self.alpha1,
+            "alpha2": self.alpha2,
+            "sigma": self.sigma,
+            "postprocess": self.postprocess,
+            "consistency_rounds": self.consistency_rounds,
+            "estimation_method": self.estimation_method,
+            "matrix_iterations": self.matrix_iterations,
+            "estimation_iterations": self.estimation_iterations,
+            "convergence_threshold": self.convergence_threshold,
+            "oracle_mode": self.oracle_mode,
+        }
+
+    def _state_payload(self) -> dict:
+        return {
+            "g1": self.chosen_g1,
+            "g2": self.chosen_g2,
+            "total_reports": self._total_reports,
+            "grids_1d": {str(attribute): grid.frequencies.tolist()
+                         for attribute, grid in self.grids_1d.items()},
+            "grids_2d": {f"{a},{b}": grid.frequencies.tolist()
+                         for (a, b), grid in self.grids_2d.items()},
+            "response_matrices": {f"{a},{b}": matrix.tolist()
+                                  for (a, b), matrix
+                                  in self.response_matrices.items()},
+            "matrix_iteration_history": {
+                f"{a},{b}": [float(change) for change in history]
+                for (a, b), history in self.matrix_iteration_history.items()},
+        }
+
+    def _restore_state_payload(self, payload: dict) -> None:
+        self.chosen_g1 = int(payload["g1"])
+        self.chosen_g2 = int(payload["g2"])
+        self._total_reports = int(payload["total_reports"])
+        c = self._domain_size
+        self.grids_1d = {}
+        for key, values in payload["grids_1d"].items():
+            attribute = int(key)
+            grid = Grid1D(attribute, c, self.chosen_g1)
+            grid.set_frequencies(np.asarray(values, dtype=float))
+            grid.build_index()
+            self.grids_1d[attribute] = grid
+        self.grids_2d = {}
+        for key, rows in payload["grids_2d"].items():
+            a, b = (int(part) for part in key.split(","))
+            grid = Grid2D((a, b), c, self.chosen_g2)
+            grid.set_frequencies(np.asarray(rows, dtype=float))
+            grid.build_index()
+            self.grids_2d[(a, b)] = grid
+        self.response_matrices = {}
+        for key, rows in payload["response_matrices"].items():
+            a, b = (int(part) for part in key.split(","))
+            self.response_matrices[(a, b)] = np.asarray(rows, dtype=float)
+        self._response_indexes = {
+            pair: (matrix, SummedAreaTable(matrix))
+            for pair, matrix in self.response_matrices.items()}
+        self.matrix_iteration_history = {}
+        for key, history in payload.get("matrix_iteration_history", {}).items():
+            a, b = (int(part) for part in key.split(","))
+            self.matrix_iteration_history[(a, b)] = [float(change)
+                                                     for change in history]
+        self._acc_1d = {attribute: None for attribute in self.grids_1d}
+        self._acc_2d = {pair: None for pair in self.grids_2d}
+
     def _batch_split(self, n_users: int, d: int) -> tuple[int, int]:
         """1-D/2-D user split ``(n1, n2)`` for one batch.
 

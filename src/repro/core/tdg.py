@@ -206,6 +206,40 @@ class TDG(PairwiseBatchAnswering, RangeQueryMechanism):
         return self
 
     # ------------------------------------------------------------------
+    # Fitted-state serialization (snapshots; see docs/serving.md)
+    # ------------------------------------------------------------------
+    def _snapshot_config(self) -> dict:
+        return {
+            "granularity": self.granularity,
+            "alpha2": self.alpha2,
+            "postprocess": self.postprocess,
+            "consistency_rounds": self.consistency_rounds,
+            "estimation_method": self.estimation_method,
+            "estimation_iterations": self.estimation_iterations,
+            "oracle_mode": self.oracle_mode,
+        }
+
+    def _state_payload(self) -> dict:
+        return {
+            "g2": self.chosen_g2,
+            "total_reports": self._total_reports,
+            "grids": {f"{a},{b}": grid.frequencies.tolist()
+                      for (a, b), grid in self.grids.items()},
+        }
+
+    def _restore_state_payload(self, payload: dict) -> None:
+        self.chosen_g2 = int(payload["g2"])
+        self._total_reports = int(payload["total_reports"])
+        self.grids = {}
+        for key, rows in payload["grids"].items():
+            a, b = (int(part) for part in key.split(","))
+            grid = Grid2D((a, b), self._domain_size, self.chosen_g2)
+            grid.set_frequencies(np.asarray(rows, dtype=float))
+            grid.build_index()
+            self.grids[(a, b)] = grid
+        self._accumulators = {pair: None for pair in self.grids}
+
+    # ------------------------------------------------------------------
     # Phase 3: answering
     # ------------------------------------------------------------------
     def _grid_for(self, attr_a: int, attr_b: int) -> tuple[Grid2D, bool]:

@@ -123,6 +123,23 @@ class Dataset:
                 f"attribute index {attribute} out of range [0, {self.n_attributes})")
 
     # ------------------------------------------------------------------
+    # Serialization (used by the mechanism snapshot payloads)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable form; inverse of :meth:`from_dict`."""
+        return {"values": self.values.tolist(),
+                "domain_size": self.domain_size,
+                "name": self.name,
+                "attribute_names": list(self.attribute_names)}
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "Dataset":
+        """Rebuild a dataset serialized with :meth:`to_dict`."""
+        return cls(np.asarray(state["values"], dtype=np.int64),
+                   int(state["domain_size"]), name=state.get("name", "dataset"),
+                   attribute_names=list(state.get("attribute_names") or []))
+
+    # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
     def marginal(self, attribute: int) -> np.ndarray:

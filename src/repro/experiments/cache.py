@@ -99,6 +99,7 @@ class CellResult:
     per_query_errors: np.ndarray
 
     def to_dict(self) -> dict:
+        """JSON-serialisable form (what the on-disk cache stores)."""
         return {
             "method": self.method,
             "repeat": self.repeat,
@@ -144,6 +145,7 @@ class ResultCache:
         return result
 
     def store(self, key: str, result: CellResult) -> None:
+        """Persist one completed cell under its key (atomic write)."""
         path = self._path(key)
         # A fresh temp name per write keeps the rename atomic even when
         # concurrent sweeps share one cache directory and finish the
@@ -163,6 +165,7 @@ class ResultCache:
         return sum(1 for _ in self.directory.glob("*.json"))
 
     def stats(self) -> str:
+        """Human-readable hit/miss summary (printed by the CLI)."""
         return f"{self.hits} hits, {self.misses} misses ({self.directory})"
 
 

@@ -85,6 +85,7 @@ class ExperimentResult:
     methods: dict[str, MethodResult] = field(default_factory=dict)
 
     def mae_of(self, method: str) -> float:
+        """Mean MAE of one mechanism across the repetitions."""
         return self.methods[method].mae.mean
 
 

@@ -76,6 +76,7 @@ class ParallelFitReport:
 
     @property
     def n_workers_used(self) -> int:
+        """Number of distinct executor workers that fitted shards."""
         return len(self.worker_names)
 
 

@@ -1,0 +1,52 @@
+"""Online query-serving subsystem: snapshots, ingest service, HTTP API.
+
+The paper's protocol is one-shot — collect, post-process, answer — but
+a production aggregator runs for months: reports arrive continuously,
+answers must stay fresh, and the fitted state has to survive restarts.
+This package provides that serving layer on top of the mechanisms'
+``save_state``/``load_state`` and ``partial_fit``/``finalize`` hooks:
+
+:mod:`repro.serving.snapshot`
+    :class:`SnapshotStore` — versioned, atomically-written on-disk
+    JSON snapshots — and :func:`restore_mechanism`, which rebuilds a
+    fitted estimator whose answers are bitwise identical to the saved
+    one's.
+:mod:`repro.serving.service`
+    :class:`QueryService` — thread-safe ingest → re-finalize → answer
+    loop around one mechanism, serializable with its pending (not yet
+    finalized) reports.
+:mod:`repro.serving.http`
+    The stdlib ``ThreadingHTTPServer`` JSON API
+    (``/ingest``, ``/query``, ``/snapshot``, ``/healthz``) behind the
+    ``repro serve`` CLI verb.
+
+See docs/serving.md for the operations guide and docs/api.md for the
+full reference.
+"""
+
+from .http import (ServingHTTPServer, ServingRequestHandler, build_server,
+                   serve)
+from .service import (SERVICE_SNAPSHOT_FORMAT, SERVICE_SNAPSHOT_VERSION,
+                      QueryService, ServiceError, predicate_from_wire,
+                      queries_from_wire, query_from_wire, query_to_wire)
+from .snapshot import (SNAPSHOT_MECHANISMS, SnapshotInfo, SnapshotStore,
+                       restore_mechanism)
+
+__all__ = [
+    "QueryService",
+    "SERVICE_SNAPSHOT_FORMAT",
+    "SERVICE_SNAPSHOT_VERSION",
+    "SNAPSHOT_MECHANISMS",
+    "ServiceError",
+    "ServingHTTPServer",
+    "ServingRequestHandler",
+    "SnapshotInfo",
+    "SnapshotStore",
+    "build_server",
+    "predicate_from_wire",
+    "queries_from_wire",
+    "query_from_wire",
+    "query_to_wire",
+    "restore_mechanism",
+    "serve",
+]

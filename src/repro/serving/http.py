@@ -1,0 +1,170 @@
+"""Stdlib HTTP front-end for :class:`~repro.serving.QueryService`.
+
+The API is a small JSON-over-HTTP surface on
+:class:`http.server.ThreadingHTTPServer` — no third-party dependencies,
+one thread per request, the service's internal lock serializing state
+changes:
+
+=======  =============  ====================================================
+Method   Path           Meaning
+=======  =============  ====================================================
+GET      ``/healthz``   Service status document (always 200 when up)
+POST     ``/ingest``    ``{"rows": [[...], ...], "domain_size"?: c}``
+POST     ``/query``     ``{"queries": [{"predicates": [[a, lo, hi], ...]}]}``
+POST     ``/refinalize``  Force a re-finalize of the pending reports
+POST     ``/snapshot``  Write a snapshot version (requires a store)
+GET      ``/snapshot``  List stored snapshot versions
+=======  =============  ====================================================
+
+Errors return ``{"error": msg}``: 400 for malformed payloads, 404 for
+unknown paths, 409 for operations the service cannot perform in its
+current state (not ready, static mode, no snapshot store).
+
+Build a bound server with :func:`build_server` (``port=0`` picks a free
+port — the tests and the in-process quickstart rely on that) and run it
+with :func:`serve` or the server's own ``serve_forever``.  The CLI verb
+``repro serve`` wraps exactly this module; docs/serving.md shows the
+curl transcript.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .service import QueryService, ServiceError
+from .snapshot import SnapshotStore
+
+__all__ = ["ServingHTTPServer", "ServingRequestHandler", "build_server",
+           "serve"]
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server that waits for in-flight handlers on close.
+
+    ``ThreadingHTTPServer`` runs handlers on daemon threads and does
+    not join them in ``server_close``; a bounded ``repro serve
+    --max-requests`` run would then exit mid-response.  Non-daemon
+    threads make ``server_close()`` block until every started response
+    has been written (connections are per-request, so handlers finish
+    promptly).
+    """
+
+    daemon_threads = False
+
+
+class ServingRequestHandler(BaseHTTPRequestHandler):
+    """Routes the JSON API onto one :class:`QueryService`.
+
+    Subclasses produced by :func:`build_server` bind the ``service``,
+    ``snapshot_store`` and ``verbose`` class attributes.
+    """
+
+    service: QueryService
+    snapshot_store: SnapshotStore | None = None
+    verbose: bool = False
+
+    server_version = "repro-serving/1.0"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, document: dict) -> None:
+        body = json.dumps(document).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        document = json.loads(self.rfile.read(length))
+        if not isinstance(document, dict):
+            raise ValueError("request body must be a JSON object")
+        return document
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Read-only routes: ``/healthz`` and the snapshot listing."""
+        if self.path == "/healthz":
+            self._send_json(200, {"status": "ok", **self.service.status()})
+        elif self.path == "/snapshot":
+            if self.snapshot_store is None:
+                self._send_json(409, {"error": "no snapshot store configured "
+                                               "(start with --snapshot-dir)"})
+            else:
+                self._send_json(200, {
+                    "directory": str(self.snapshot_store.directory),
+                    "versions": self.snapshot_store.versions(),
+                    "latest": self.snapshot_store.latest_version(),
+                })
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """State-changing routes: ingest, query, refinalize, snapshot."""
+        try:
+            if self.path == "/ingest":
+                payload = self._read_json()
+                receipt = self.service.ingest(payload["rows"],
+                                              payload.get("domain_size"))
+                self._send_json(200, receipt)
+            elif self.path == "/query":
+                payload = self._read_json()
+                answers = self.service.query_wire(payload["queries"])
+                self._send_json(200, {"answers": answers,
+                                      "count": len(answers)})
+            elif self.path == "/refinalize":
+                self._send_json(200, self.service.refinalize())
+            elif self.path == "/snapshot":
+                if self.snapshot_store is None:
+                    raise ServiceError("no snapshot store configured "
+                                       "(start with --snapshot-dir)")
+                info = self.service.save_snapshot(self.snapshot_store)
+                self._send_json(200, {"version": info.version,
+                                      "path": str(info.path)})
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path}"})
+        except ServiceError as error:
+            self._send_json(409, {"error": str(error)})
+        except (KeyError, ValueError, TypeError) as error:
+            self._send_json(400, {"error": f"bad request: {error}"})
+
+
+def build_server(service: QueryService, host: str = "127.0.0.1",
+                 port: int = 0, snapshot_store: SnapshotStore | None = None,
+                 verbose: bool = False) -> ThreadingHTTPServer:
+    """A bound (not yet running) threaded HTTP server over ``service``.
+
+    ``port=0`` binds any free port; read the result from
+    ``server.server_address``.
+    """
+    handler = type("BoundServingRequestHandler", (ServingRequestHandler,),
+                   {"service": service, "snapshot_store": snapshot_store,
+                    "verbose": verbose})
+    return ServingHTTPServer((host, port), handler)
+
+
+def serve(server: ThreadingHTTPServer,
+          max_requests: int | None = None) -> None:
+    """Run the accept loop: forever, or for ``max_requests`` requests.
+
+    The bounded form exists for smoke tests and scripted ops checks
+    (``repro serve --max-requests N``); callers still own
+    ``server.server_close()``, which waits for in-flight handler
+    threads.
+    """
+    if max_requests is None:
+        server.serve_forever()
+    else:
+        for _ in range(max_requests):
+            server.handle_request()

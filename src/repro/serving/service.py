@@ -1,0 +1,383 @@
+"""Long-lived query service over the LDP mechanisms.
+
+A :class:`QueryService` keeps a fitted estimator hot for answering
+workloads while (optionally) ingesting new privatized reports through
+the shard ``partial_fit`` path.  It runs in one of two modes:
+
+* **streaming** — constructed from a shardable mechanism name or an
+  un-fitted shardable instance.  ``ingest`` feeds batches into an open
+  *collector*; a *re-finalize* (triggered automatically every
+  ``refinalize_every`` reports, or on demand with ``refinalize``)
+  clones the collector's accumulator state, runs the paper's Phase-2
+  machinery on the clone and atomically swaps it in as the serving
+  estimator.  Answers therefore stay fresh without ever refitting from
+  scratch, and collection never pauses for finalization.
+* **static** — constructed from an already-fitted mechanism (any of
+  the nine, shardable or not).  Queries and snapshots work; ``ingest``
+  raises :class:`ServiceError`.
+
+The whole service serializes to one JSON document
+(:meth:`QueryService.state_dict`): the estimator's fitted state via
+``save_state`` plus the collector's pending accumulators via
+``shard_state``, so a restart restores both the answers *and* the
+not-yet-finalized reports.  :class:`~repro.serving.SnapshotStore`
+versions those documents on disk.
+
+All entry points are thread-safe (one re-entrant lock), which is what
+the :mod:`repro.serving.http` front-end relies on under
+``ThreadingHTTPServer``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..core import RangeQueryMechanism
+from ..core.base import check_state_document
+from ..datasets import Dataset
+from ..pipeline.aggregator import SHARDABLE_MECHANISMS
+from ..queries import Predicate, RangeQuery
+from .snapshot import SnapshotInfo, SnapshotStore, restore_mechanism
+
+#: Format tag written into serialized service states.
+SERVICE_SNAPSHOT_FORMAT = "repro.service-snapshot"
+SERVICE_SNAPSHOT_VERSION = 1
+
+
+class ServiceError(RuntimeError):
+    """An operation the service cannot perform in its current state."""
+
+
+# ----------------------------------------------------------------------
+# Wire format: queries as plain JSON values
+# ----------------------------------------------------------------------
+def predicate_from_wire(obj) -> Predicate:
+    """One predicate from ``[attribute, low, high]`` or the dict form."""
+    if isinstance(obj, dict):
+        return Predicate(int(obj["attribute"]), int(obj["low"]),
+                         int(obj["high"]))
+    attribute, low, high = obj
+    return Predicate(int(attribute), int(low), int(high))
+
+
+def query_from_wire(obj) -> RangeQuery:
+    """One query from ``{"predicates": [...]}`` or a bare predicate list."""
+    predicates = obj["predicates"] if isinstance(obj, dict) else obj
+    return RangeQuery(tuple(predicate_from_wire(item) for item in predicates))
+
+
+def queries_from_wire(objs) -> list[RangeQuery]:
+    """A workload from a JSON list of wire-format queries."""
+    return [query_from_wire(obj) for obj in objs]
+
+
+def query_to_wire(query: RangeQuery) -> dict:
+    """The wire form of a query (inverse of :func:`query_from_wire`)."""
+    return {"predicates": [[p.attribute, p.low, p.high]
+                           for p in query.predicates]}
+
+
+class QueryService:
+    """Ingest-and-answer front-end over one mechanism.
+
+    Parameters
+    ----------
+    mechanism:
+        A shardable mechanism name (``"TDG"``, ``"HDG"``, ``"ITDG"``,
+        ``"IHDG"``) or un-fitted shardable instance for streaming mode;
+        or any *fitted* mechanism instance for static serving.
+    epsilon:
+        Per-user privacy budget (ignored when an instance is passed).
+    seed:
+        Seed for the collector's randomness (name-based construction).
+    refinalize_every:
+        Automatically re-finalize after this many ingested reports
+        accumulate since the last finalize.  ``None`` (default) means
+        re-finalization only happens on demand via :meth:`refinalize`.
+    total_users:
+        Expected total population, forwarded to ``partial_fit`` so the
+        guideline granularities are pinned up front.  Defaults to the
+        first batch's size (fine for one service; see docs/serving.md).
+    domain_size:
+        Default attribute domain size ``c`` assumed for raw-row ingest
+        batches; per-call and :class:`~repro.datasets.Dataset` values
+        override it.
+    mechanism_kwargs:
+        Extra keyword arguments for name-based mechanism construction.
+    """
+
+    def __init__(self, mechanism: str | RangeQueryMechanism = "HDG",
+                 epsilon: float = 1.0, *, seed: int | None = None,
+                 refinalize_every: int | None = None,
+                 total_users: int | None = None,
+                 domain_size: int | None = None,
+                 **mechanism_kwargs):
+        if refinalize_every is not None and refinalize_every < 1:
+            raise ValueError("refinalize_every must be >= 1 when set")
+        self._lock = threading.RLock()
+        #: Serializes whole re-finalize operations (capture → Phase 2 →
+        #: swap) without holding the state lock through the heavy part.
+        self._refinalize_lock = threading.Lock()
+        self._estimator: RangeQueryMechanism | None = None
+        self._collector: RangeQueryMechanism | None = None
+        self.refinalize_every = refinalize_every
+        self.total_users = total_users
+        self.domain_size = domain_size
+        self.reports_ingested = 0
+        self.reports_since_finalize = 0
+        self.finalize_count = 0
+
+        if isinstance(mechanism, RangeQueryMechanism):
+            if mechanism.is_fitted:
+                self._estimator = mechanism
+            else:
+                if not mechanism.supports_sharding:
+                    raise ValueError(
+                        f"{type(mechanism).__name__} does not support "
+                        "incremental ingest; pass a fitted instance for "
+                        "static serving")
+                self._collector = mechanism
+        else:
+            try:
+                factory = SHARDABLE_MECHANISMS[mechanism]
+            except KeyError:
+                raise ValueError(
+                    f"unknown or non-shardable mechanism {mechanism!r}; "
+                    f"known: {sorted(SHARDABLE_MECHANISMS)}") from None
+            self._collector = factory(epsilon, seed=seed, **mechanism_kwargs)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def mechanism_name(self) -> str:
+        """Paper name of the served mechanism (e.g. ``"HDG"``)."""
+        return (self._collector or self._estimator).name
+
+    @property
+    def epsilon(self) -> float:
+        """Per-user privacy budget of the served mechanism."""
+        return (self._collector or self._estimator).epsilon
+
+    @property
+    def is_streaming(self) -> bool:
+        """Whether the service accepts ``ingest`` (has an open collector)."""
+        return self._collector is not None
+
+    @property
+    def is_ready(self) -> bool:
+        """Whether a finalized estimator is available for queries."""
+        return self._estimator is not None
+
+    def status(self) -> dict:
+        """Service health document (what ``GET /healthz`` returns)."""
+        with self._lock:
+            reference = self._collector or self._estimator
+            return {
+                "mechanism": reference.name,
+                "epsilon": reference.epsilon,
+                "mode": "streaming" if self.is_streaming else "static",
+                "ready": self.is_ready,
+                "reports_ingested": self.reports_ingested,
+                "reports_since_finalize": self.reports_since_finalize,
+                "finalize_count": self.finalize_count,
+                "refinalize_every": self.refinalize_every,
+                "n_attributes": reference._n_attributes,
+                "domain_size": reference._domain_size,
+            }
+
+    # ------------------------------------------------------------------
+    # Ingest + re-finalize
+    # ------------------------------------------------------------------
+    def ingest(self, rows, domain_size: int | None = None) -> dict:
+        """Feed one batch of user reports into the open collector.
+
+        ``rows`` is a :class:`~repro.datasets.Dataset` or a raw
+        ``(n, d)`` integer array/list (then the domain size comes from
+        the call, the service default, or earlier batches).  Returns an
+        ingest receipt including whether the batch tripped the
+        automatic re-finalize policy.
+        """
+        with self._lock:
+            if self._collector is None:
+                raise ServiceError(
+                    "service is static (built from a fitted mechanism); "
+                    "ingest needs streaming mode")
+            batch = self._as_dataset(rows, domain_size)
+            self._collector.partial_fit(batch, total_users=self.total_users)
+            self.reports_ingested += batch.n_users
+            self.reports_since_finalize += batch.n_users
+            refinalized = (self.refinalize_every is not None
+                           and self.reports_since_finalize
+                           >= self.refinalize_every)
+        if refinalized:
+            self._refinalize()
+        with self._lock:
+            return {
+                "ingested": batch.n_users,
+                "total_reports": self.reports_ingested,
+                "reports_since_finalize": self.reports_since_finalize,
+                "refinalized": refinalized,
+                "ready": self.is_ready,
+            }
+
+    def _as_dataset(self, rows, domain_size: int | None) -> Dataset:
+        if isinstance(rows, Dataset):
+            return rows
+        domain_size = domain_size or self.domain_size
+        if domain_size is None:
+            collector_domain = self._collector._domain_size
+            if collector_domain is None:
+                raise ServiceError(
+                    "domain_size is required for the first raw-row batch "
+                    "(pass it per call or at service construction)")
+            domain_size = collector_domain
+        return Dataset(np.asarray(rows, dtype=np.int64), int(domain_size))
+
+    def refinalize(self) -> dict:
+        """Run Phase 2 on the collector's current state; swap the estimator.
+
+        The collector itself stays open — its accumulator state is
+        cloned through ``shard_state``/``load_shard_state``, the clone
+        is finalized, and the serving estimator is replaced atomically.
+        """
+        with self._lock:
+            if self._collector is None:
+                raise ServiceError("service is static; nothing to re-finalize")
+            if self.reports_ingested == 0:
+                raise ServiceError("no reports ingested yet")
+        self._refinalize()
+        return self.status()
+
+    def _refinalize(self) -> None:
+        """Capture → finalize a clone → swap.
+
+        Only the accumulator capture and the estimator swap hold the
+        state lock; the Phase-2 pass itself runs without it, so
+        concurrent queries keep answering from the previous estimator
+        instead of stalling.  Whole re-finalizes are serialized by
+        their own lock so swaps land in capture order.
+        """
+        with self._refinalize_lock:
+            with self._lock:
+                collector = self._collector
+                factory = type(collector)
+                epsilon = collector.epsilon
+                config = collector._snapshot_config()
+                state = collector.shard_state()
+                self.reports_since_finalize = 0
+            clone = factory(epsilon, **config)
+            clone.load_shard_state(state)
+            clone.finalize()
+            with self._lock:
+                self._estimator = clone
+                self.finalize_count += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, queries: list[RangeQuery]) -> np.ndarray:
+        """Answer a workload with the current estimator."""
+        with self._lock:
+            if self._estimator is None:
+                raise ServiceError(
+                    "service is not ready: ingest reports and re-finalize "
+                    "(or restore a snapshot) before querying")
+            return self._estimator.answer_workload(queries)
+
+    def query_wire(self, objs) -> list[float]:
+        """Answer a JSON-wire workload (what ``POST /query`` calls)."""
+        return [float(answer) for answer
+                in self.query(queries_from_wire(objs))]
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """One JSON document holding estimator + pending collector state."""
+        with self._lock:
+            collector_state = None
+            collector_config = None
+            collector_rng = None
+            if self._collector is not None:
+                collector_config = self._collector._snapshot_config()
+                # The RNG state makes a restored service's *future*
+                # ingest draws continue the exact same stream.
+                collector_rng = self._collector.rng.bit_generator.state
+                if self.reports_ingested > 0:
+                    collector_state = self._collector.shard_state()
+            return {
+                "format": SERVICE_SNAPSHOT_FORMAT,
+                "version": SERVICE_SNAPSHOT_VERSION,
+                "mechanism": self.mechanism_name,
+                "epsilon": self.epsilon,
+                "refinalize_every": self.refinalize_every,
+                "total_users": self.total_users,
+                "domain_size": self.domain_size,
+                "reports_ingested": self.reports_ingested,
+                "reports_since_finalize": self.reports_since_finalize,
+                "finalize_count": self.finalize_count,
+                "collector_config": collector_config,
+                "collector_rng": collector_rng,
+                "collector": collector_state,
+                "estimator": (self._estimator.save_state()
+                              if self._estimator is not None else None),
+            }
+
+    @classmethod
+    def from_state_dict(cls, state: dict,
+                        seed: int | None = None) -> "QueryService":
+        """Rebuild a service from :meth:`state_dict` output."""
+        check_state_document(state, SERVICE_SNAPSHOT_FORMAT,
+                             SERVICE_SNAPSHOT_VERSION)
+        estimator = (restore_mechanism(state["estimator"])
+                     if state.get("estimator") is not None else None)
+        if state.get("collector_config") is not None:
+            factory = SHARDABLE_MECHANISMS[state["mechanism"]]
+            collector = factory(float(state["epsilon"]), seed=seed,
+                                **state["collector_config"])
+            if state.get("collector") is not None:
+                collector.load_shard_state(state["collector"])
+            if state.get("collector_rng") is not None:
+                collector.rng.bit_generator.state = state["collector_rng"]
+            service = cls(collector,
+                          refinalize_every=state.get("refinalize_every"),
+                          total_users=state.get("total_users"),
+                          domain_size=state.get("domain_size"))
+            service._estimator = estimator
+        else:
+            if estimator is None:
+                raise ValueError("snapshot holds neither an estimator nor "
+                                 "a collector")
+            service = cls(estimator,
+                          domain_size=state.get("domain_size"))
+        service.reports_ingested = int(state.get("reports_ingested", 0))
+        service.reports_since_finalize = int(
+            state.get("reports_since_finalize", 0))
+        service.finalize_count = int(state.get("finalize_count", 0))
+        return service
+
+    def save_snapshot(self,
+                      store: SnapshotStore | str) -> SnapshotInfo:
+        """Write the current :meth:`state_dict` as the store's next version."""
+        if not isinstance(store, SnapshotStore):
+            store = SnapshotStore(store)
+        return store.save(self.state_dict())
+
+    @classmethod
+    def from_snapshot(cls, store: SnapshotStore | str,
+                      version: int | None = None,
+                      seed: int | None = None) -> "QueryService":
+        """Restore a service from a stored snapshot (latest by default)."""
+        if not isinstance(store, SnapshotStore):
+            store = SnapshotStore(store)
+        return cls.from_state_dict(store.load(version), seed=seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "streaming" if self.is_streaming else "static"
+        return (f"QueryService({self.mechanism_name}, "
+                f"epsilon={self.epsilon}, {mode}, "
+                f"reports={self.reports_ingested}, "
+                f"{'ready' if self.is_ready else 'not ready'})")

@@ -1,10 +1,22 @@
 #!/usr/bin/env python3
 """Offline link checker for the markdown documentation.
 
-Verifies that every relative link/image target in the given markdown
-files (or all ``*.md`` under given directories) resolves to an existing
-file or directory.  External URLs and pure in-page anchors are skipped —
-the check must work offline in CI.
+Three checks run over the given markdown files (or all ``*.md`` under
+given directories), all working offline so CI needs no network:
+
+1. **Relative links/images** — every ``[text](target)`` target that is
+   not an external URL must resolve to an existing file or directory.
+2. **Anchor fragments** — in-page ``#anchor`` links and the ``#anchor``
+   part of cross-file links must match a heading of the target markdown
+   file (GitHub slug rules: lowercase, punctuation stripped, spaces to
+   hyphens, ``-N`` suffixes for duplicates).
+3. **Code-path references** — inline code spans that look like
+   repository paths (`` `src/...` ``, `` `tests/...` ``,
+   `` `benchmarks/...` ``, `` `docs/...` ``, `` `examples/...` ``,
+   `` `tools/...` ``) must exist relative to the repository root, so
+   prose never points at moved or deleted code.
+
+Fenced code blocks are ignored throughout.
 
 Usage: python tools/check_doc_links.py README.md docs
 Exit status is non-zero when any link is broken.
@@ -20,6 +32,21 @@ from pathlib import Path
 #: are not used in this repository.
 LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 
+#: ATX headings (the only heading style used in this repository).
+HEADING_PATTERN = re.compile(r"^(#{1,6})\s+(.+?)\s*$")
+
+#: Inline code spans; candidates for the code-path check.
+CODE_SPAN_PATTERN = re.compile(r"`([^`\n]+)`")
+
+#: A code span counts as a repository path when it starts with one of
+#: the top-level code directories and contains only path characters
+#: (globs, placeholders and ellipses fall through).
+CODE_PATH_PATTERN = re.compile(
+    r"^(?:src|tests|benchmarks|docs|examples|tools)/[\w\-./]+$")
+
+#: The repository root the code-path references are resolved against.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
 
 def collect_files(arguments: list[str]) -> list[Path]:
     files: list[Path] = []
@@ -32,14 +59,79 @@ def collect_files(arguments: list[str]) -> list[Path]:
     return files
 
 
-def check_file(path: Path) -> list[str]:
-    errors = []
-    for target in LINK_PATTERN.findall(path.read_text(encoding="utf-8")):
-        if target.startswith(("http://", "https://", "mailto:", "#")):
+def strip_fenced_blocks(text: str) -> str:
+    """Drop ``` fenced code blocks (their content is not markdown)."""
+    lines = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
             continue
-        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not in_fence:
+            lines.append(line)
+    return "\n".join(lines)
+
+
+def github_slug(heading: str) -> str:
+    """The GitHub anchor slug of one heading's text."""
+    # Inline markup contributes its text only.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "")
+    text = re.sub(r"[^\w\- ]", "", text.lower(), flags=re.UNICODE)
+    return text.strip().replace(" ", "-")
+
+
+def heading_anchors(text: str) -> set[str]:
+    """All anchor slugs a markdown document exposes (with -N duplicates)."""
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    for line in strip_fenced_blocks(text).splitlines():
+        match = HEADING_PATTERN.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+class _AnchorCache:
+    """Per-file memo of heading anchors (targets are parsed once)."""
+
+    def __init__(self) -> None:
+        self._anchors: dict[Path, set[str]] = {}
+
+    def of(self, path: Path) -> set[str]:
+        path = path.resolve()
+        if path not in self._anchors:
+            self._anchors[path] = heading_anchors(
+                path.read_text(encoding="utf-8"))
+        return self._anchors[path]
+
+
+def check_file(path: Path, anchors: _AnchorCache) -> list[str]:
+    errors = []
+    body = strip_fenced_blocks(path.read_text(encoding="utf-8"))
+
+    for target in LINK_PATTERN.findall(body):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        resolved = (path.parent / base).resolve() if base else path.resolve()
         if not resolved.exists():
             errors.append(f"{path}: broken link -> {target}")
+            continue
+        if fragment and resolved.is_file() and resolved.suffix == ".md":
+            if fragment not in anchors.of(resolved):
+                errors.append(f"{path}: broken anchor -> {target} "
+                              f"(no heading slugs to '#{fragment}' in "
+                              f"{resolved.name})")
+
+    for span in CODE_SPAN_PATTERN.findall(body):
+        if CODE_PATH_PATTERN.match(span) and "..." not in span:
+            if not (REPO_ROOT / span).exists():
+                errors.append(f"{path}: missing code path -> {span}")
     return errors
 
 
@@ -47,9 +139,10 @@ def main(arguments: list[str]) -> int:
     files = collect_files(arguments or ["README.md", "docs"])
     missing = [str(f) for f in files if not f.exists()]
     errors = [f"no such file: {name}" for name in missing]
+    anchors = _AnchorCache()
     for path in files:
         if path.exists():
-            errors.extend(check_file(path))
+            errors.extend(check_file(path, anchors))
     for error in errors:
         print(error, file=sys.stderr)
     checked = len(files) - len(missing)
