@@ -6,16 +6,25 @@ where the ``wheel`` package is unavailable.  Installing provides the
 ``repro`` package (src layout) and the ``repro`` console command.
 """
 
+import re
+from pathlib import Path
+
 from setuptools import find_packages, setup
+
+# Single source of truth for the version: src/repro/_version.py.
+VERSION = re.search(r'__version__ = "([^"]+)"',
+                    Path("src/repro/_version.py").read_text()).group(1)
 
 setup(
     name="repro-ldp-range-queries",
-    version="1.2.0",
+    version=VERSION,
     description=(
         "Reproduction of 'Answering Multi-Dimensional Range Queries under "
         "Local Differential Privacy' (Yang et al., VLDB 2020): TDG/HDG "
-        "mechanisms, baselines, a shard-mergeable aggregation pipeline and "
-        "an online query-serving subsystem with snapshot persistence"
+        "mechanisms, baselines, a typed query IR with a workload planner "
+        "(range/marginal/point/count/top-k), a shard-mergeable aggregation "
+        "pipeline and an online query-serving subsystem with snapshot "
+        "persistence"
     ),
     long_description=open("README.md", encoding="utf-8").read(),
     long_description_content_type="text/markdown",

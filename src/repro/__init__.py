@@ -12,7 +12,10 @@ package streams, parallelises and serializes the per-shard state.
 Fitted estimators snapshot and restore bitwise
 (``save_state``/``load_state``), and :mod:`repro.serving` serves them as
 a long-lived HTTP query service with incremental ingest
-(``repro serve``).
+(``repro serve``).  Beyond range queries, the typed query IR
+(:mod:`repro.queries`) adds marginal, point, predicate-count and top-k
+queries, all compiled by a workload planner onto the same batched
+answering primitives.
 
 Quickstart
 ----------
@@ -25,6 +28,7 @@ Quickstart
 >>> truths = answer_workload(data, queries)
 """
 
+from ._version import __version__, package_version
 from .baselines import CALM, HIO, LHIO, MSW, Uniform
 from .core import (HDG, IHDG, ITDG, TDG, Grid1D, Grid2D, RangeQueryMechanism,
                    build_response_matrix, choose_granularities_hdg,
@@ -35,10 +39,11 @@ from .frequency_oracles import (GeneralizedRandomizedResponse, OptimizedLocalHas
                                 SquareWave, SupportAccumulator)
 from .metrics import absolute_errors, mean_absolute_error
 from .pipeline import ShardAggregator, parallel_fit, shard_dataset
-from .queries import Predicate, RangeQuery, WorkloadGenerator, answer_query, answer_workload
+from .queries import (MarginalQuery, PointQuery, Predicate,
+                      PredicateCountQuery, QueryPlanner, RangeQuery, TopKQuery,
+                      WorkloadGenerator, answer_query, answer_workload,
+                      evaluate_query, evaluate_workload)
 from .serving import QueryService, SnapshotStore, restore_mechanism
-
-__version__ = "1.2.0"
 
 __all__ = [
     "CALM",
@@ -53,10 +58,15 @@ __all__ = [
     "ITDG",
     "LHIO",
     "MSW",
+    "MarginalQuery",
     "OptimizedLocalHash",
+    "PointQuery",
     "Predicate",
+    "PredicateCountQuery",
+    "QueryPlanner",
     "QueryService",
     "RangeQuery",
+    "TopKQuery",
     "RangeQueryMechanism",
     "ShardAggregator",
     "SnapshotStore",
@@ -75,8 +85,11 @@ __all__ = [
     "choose_granularities_hdg",
     "choose_granularity_tdg",
     "estimate_lambda_query",
+    "evaluate_query",
+    "evaluate_workload",
     "make_dataset",
     "mean_absolute_error",
+    "package_version",
     "parallel_fit",
     "restore_mechanism",
     "run_experiment",

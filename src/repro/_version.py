@@ -1,0 +1,19 @@
+"""Single source of the library version.
+
+``__version__`` is the version of the code in this tree.  ``setup.py``
+reads this same constant to stamp the distribution metadata, so a
+properly installed copy's ``importlib.metadata`` version always equals
+it — which makes the running tree's constant the truthful answer even
+when a source checkout on ``PYTHONPATH`` shadows an older installed
+distribution.  The CLI's ``--version`` flag and the serving
+``/healthz`` document both report :func:`package_version`.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.3.0"
+
+
+def package_version() -> str:
+    """The version of the running code (equals installed metadata)."""
+    return __version__

@@ -51,6 +51,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ._version import package_version
 from .datasets import make_dataset
 from .experiments import (ExperimentConfig, ResultCache, run_experiment,
                           sweep_parameter)
@@ -72,6 +73,14 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--query-dimension", type=int, default=2)
     parser.add_argument("--volume", type=float, default=0.5)
     parser.add_argument("--n-queries", type=int, default=100)
+    parser.add_argument("--query-kinds", nargs="+", default=["range"],
+                        metavar="KIND",
+                        help="query kinds the workload cycles through "
+                             "(range, marginal, point, count, topk); more "
+                             "than one produces a mixed typed workload "
+                             "scored per kind")
+    parser.add_argument("--top-k", type=int, default=5,
+                        help="k of generated top-k group-by queries")
     parser.add_argument("--n-repeats", type=int, default=1)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--methods", nargs="+",
@@ -108,7 +117,8 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         volume=args.volume, n_queries=args.n_queries,
         n_repeats=args.n_repeats, methods=tuple(args.methods), seed=args.seed,
         n_shards=args.shards, shard_workers=args.shard_workers,
-        query_engine=args.query_engine, n_jobs=args.jobs)
+        query_engine=args.query_engine, n_jobs=args.jobs,
+        query_kinds=tuple(args.query_kinds), top_k=args.top_k)
 
 
 def _cache_from_args(args: argparse.Namespace) -> ResultCache | None:
@@ -123,9 +133,16 @@ def _command_run(args: argparse.Namespace) -> int:
     result = run_experiment(config, cache=cache)
     print(f"dataset={config.dataset} n={config.n_users} d={config.n_attributes} "
           f"c={config.domain_size} eps={config.epsilon} "
-          f"lambda={config.query_dimension} omega={config.volume}")
+          f"lambda={config.query_dimension} omega={config.volume} "
+          f"kinds={','.join(config.query_kinds)}")
     for method in config.methods:
-        print(f"  {method:>10}: MAE = {result.methods[method].mae}")
+        method_result = result.methods[method]
+        print(f"  {method:>10}: MAE = {method_result.mae}")
+        if method_result.per_kind_mae:
+            breakdown = "  ".join(
+                f"{kind}={summary.mean:.5f}"
+                for kind, summary in sorted(method_result.per_kind_mae.items()))
+            print(f"  {'':>10}  per-kind: {breakdown}")
     if cache is not None:
         print(f"cache: {cache.stats()}")
     return 0
@@ -359,6 +376,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'Answering Multi-Dimensional Range "
                     "Queries under Local Differential Privacy' (VLDB 2020)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {package_version()}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run_parser = subparsers.add_parser("run", help="evaluate mechanisms once")

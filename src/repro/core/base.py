@@ -3,8 +3,19 @@
 TDG, HDG and all baselines (Uni, MSW, CALM, HIO, LHIO) implement
 :class:`RangeQueryMechanism`: ``fit`` runs the one-shot LDP collection
 protocol over a dataset, ``answer`` / ``answer_workload`` then answer
-arbitrarily many range queries from the collected (already private)
+arbitrarily many queries from the collected (already private)
 summaries without touching raw data again.
+
+``answer_workload`` is the single answering stack for the whole typed
+query IR (:mod:`repro.queries`): a workload may mix
+:class:`~repro.queries.RangeQuery` with marginal, point,
+predicate-count and top-k queries.  Non-range kinds are compiled by a
+:class:`~repro.queries.QueryPlanner` onto the mechanism's range
+primitives — subject to the mechanism's declared
+:attr:`~RangeQueryMechanism.query_capabilities` — answered through the
+same batch engine, and reassembled into typed
+:class:`~repro.queries.QueryResult` objects.  Pure range workloads keep
+the flat ``numpy`` answer vector they always had.
 
 Mechanisms whose collection step is aggregation-based (TDG, HDG) also
 support an incremental, shard-mergeable protocol:
@@ -35,11 +46,13 @@ hooks.
 from __future__ import annotations
 
 import abc
+from collections import OrderedDict
 
 import numpy as np
 
 from ..datasets import Dataset
-from ..queries import RangeQuery
+from ..queries import (ALL_QUERY_KINDS, Query, QueryPlanner, QueryResult,
+                       RangeQuery)
 
 #: Format tag written into serialized fitted-mechanism states.
 MECHANISM_STATE_FORMAT = "repro.mechanism-state"
@@ -85,6 +98,13 @@ class RangeQueryMechanism(abc.ABC):
     #: engine against its ground truth; production callers leave it off.
     use_legacy_answering: bool = False
 
+    #: Query kinds this mechanism can answer (see
+    #: :data:`repro.queries.QUERY_KINDS`).  Every kind lowers onto range
+    #: primitives, so the default grants all of them; a subclass that
+    #: cannot serve some kind narrows the set and the planner rejects
+    #: such queries with a clear per-query error.
+    query_capabilities: frozenset[str] = ALL_QUERY_KINDS
+
     def __init__(self, epsilon: float, seed: int | None = None):
         if epsilon <= 0:
             raise ValueError(f"epsilon must be positive, got {epsilon}")
@@ -93,6 +113,12 @@ class RangeQueryMechanism(abc.ABC):
         self._fitted = False
         self._n_attributes: int | None = None
         self._domain_size: int | None = None
+        self._n_reports: int | None = None
+        #: FIFO-bounded memo of compiled QueryPlans keyed by (schema,
+        #: workload); planning a marginal allocates c^λ range primitives,
+        #: so a service answering the same typed workload repeatedly
+        #: should pay that once, not per request.
+        self._typed_plan_cache: "OrderedDict[tuple, object]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # Collection
@@ -101,6 +127,7 @@ class RangeQueryMechanism(abc.ABC):
         """Run the LDP collection protocol over ``dataset`` and return self."""
         self._n_attributes = dataset.n_attributes
         self._domain_size = dataset.domain_size
+        self._n_reports = dataset.n_users
         self._fit(dataset)
         self._fitted = True
         return self
@@ -141,6 +168,7 @@ class RangeQueryMechanism(abc.ABC):
                 f"does not match earlier batches (d={self._n_attributes}, "
                 f"c={self._domain_size})")
         self._partial_fit(dataset, total_users)
+        self._n_reports = (self._n_reports or 0) + dataset.n_users
         return self
 
     def merge(self, other: "RangeQueryMechanism") -> "RangeQueryMechanism":
@@ -172,6 +200,8 @@ class RangeQueryMechanism(abc.ABC):
                 f"(d={self._n_attributes}, c={self._domain_size}) vs "
                 f"(d={other._n_attributes}, c={other._domain_size})")
         self._merge(other)
+        if other._n_reports:
+            self._n_reports = (self._n_reports or 0) + other._n_reports
         return self
 
     def finalize(self) -> "RangeQueryMechanism":
@@ -226,6 +256,7 @@ class RangeQueryMechanism(abc.ABC):
             "epsilon": self.epsilon,
             "n_attributes": self._n_attributes,
             "domain_size": self._domain_size,
+            "n_reports": self._n_reports,
             "config": self._snapshot_config(),
             "rng_state": self.rng.bit_generator.state,
             "payload": self._state_payload(),
@@ -252,6 +283,10 @@ class RangeQueryMechanism(abc.ABC):
             raise ValueError("state was collected under a different epsilon")
         self._n_attributes = int(state["n_attributes"])
         self._domain_size = int(state["domain_size"])
+        # Absent in pre-IR snapshots; count queries then need an explicit
+        # per-query population (the planner raises a clear error).
+        reports = state.get("n_reports")
+        self._n_reports = int(reports) if reports is not None else None
         self.rng.bit_generator.state = state["rng_state"]
         self._restore_state_payload(state["payload"])
         self._fitted = True
@@ -280,32 +315,108 @@ class RangeQueryMechanism(abc.ABC):
     # ------------------------------------------------------------------
     # Query answering
     # ------------------------------------------------------------------
-    def answer(self, query: RangeQuery) -> float:
-        """Estimated answer of one range query (fraction in [0, 1] ideally)."""
+    @property
+    def population(self) -> int | None:
+        """Number of user reports collected (None before any collection).
+
+        Scales :class:`~repro.queries.PredicateCountQuery` answers that
+        carry no explicit population of their own.
+        """
+        return self._n_reports
+
+    def query_planner(self) -> QueryPlanner:
+        """A planner bound to this mechanism's fitted schema."""
         self._require_fitted()
-        self._validate_query(query)
-        return float(self._answer(query))
+        assert self._n_attributes is not None and self._domain_size is not None
+        return QueryPlanner(self._domain_size, self._n_attributes,
+                            population=self._n_reports)
+
+    def answer(self, query) -> float | QueryResult:
+        """Estimated answer of one query.
+
+        A :class:`~repro.queries.RangeQuery` returns its float estimate
+        (fraction in [0, 1] ideally) as it always has; any other IR kind
+        is planned like a one-query workload and returns its typed
+        :class:`~repro.queries.QueryResult`.
+        """
+        self._require_fitted()
+        if isinstance(query, RangeQuery):
+            self._validate_query(query)
+            return float(self._answer(query))
+        return self.answer_typed([query])[0]
 
     @abc.abstractmethod
     def _answer(self, query: RangeQuery) -> float:
         """Mechanism-specific answering logic."""
 
-    def answer_workload(self, queries: list[RangeQuery]) -> np.ndarray:
-        """Estimated answers for a list of queries.
+    def answer_workload(self, queries: list) -> np.ndarray | list[QueryResult]:
+        """Estimated answers for a (possibly mixed-kind) workload.
 
-        Queries are validated up front and then handed to the
+        Pure range workloads are validated up front and handed to the
         mechanism's batch engine (``_answer_workload``), which groups
         them by dimension/attribute set and answers whole groups with
-        vectorised prefix-sum lookups where the mechanism supports it.
-        With ``use_legacy_answering`` set, every query instead goes
-        through the original one-at-a-time path.
+        vectorised prefix-sum lookups where the mechanism supports it;
+        the return value is the flat float vector it always was.  A
+        workload containing any other IR kind goes through
+        :meth:`answer_typed` and returns one typed
+        :class:`~repro.queries.QueryResult` per query instead.  With
+        ``use_legacy_answering`` set, every primitive goes through the
+        original one-at-a-time path.
         """
         self._require_fitted()
         queries = list(queries)
-        for query in queries:
-            self._validate_query(query)
         if not queries:
             return np.empty(0)
+        if any(not isinstance(query, RangeQuery) for query in queries):
+            return self.answer_typed(queries)
+        for query in queries:
+            self._validate_query(query)
+        return self._answer_ranges(queries)
+
+    def answer_typed(self, queries: list) -> list[QueryResult]:
+        """Answer a typed IR workload: plan, batch-answer, reassemble.
+
+        The planner lowers every query onto range primitives (checking
+        it against :attr:`query_capabilities` and the fitted schema),
+        the primitives run through the same batch engine as a plain
+        range workload, and the plan slices the flat answers back into
+        typed results — so marginal cells, point estimates, count
+        scaling and top-k selection all ride the one answering stack.
+        """
+        self._require_fitted()
+        plan = self._plan_for(queries)
+        # The planner validated every query against the fitted schema, and
+        # lowering only emits primitives inside the validated bounds — no
+        # per-primitive re-validation needed.
+        ranges = plan.ranges
+        answers = self._answer_ranges(ranges) if ranges else np.empty(0)
+        return plan.assemble(answers)
+
+    #: Number of compiled plans kept per mechanism instance.
+    _PLAN_CACHE_ENTRIES = 8
+
+    def _plan_for(self, queries: list):
+        """The workload's compiled plan, memoized per fitted schema.
+
+        Queries are hashable frozen dataclasses, so the (schema,
+        workload) tuple is a sound key; the schema part covers refits
+        and population changes that would alter count scaling.
+        """
+        key = (self._n_attributes, self._domain_size, self._n_reports,
+               tuple(queries))
+        plan = self._typed_plan_cache.get(key)
+        if plan is None:
+            plan = self.query_planner().plan(
+                queries, capabilities=self.query_capabilities)
+            self._typed_plan_cache[key] = plan
+            while len(self._typed_plan_cache) > self._PLAN_CACHE_ENTRIES:
+                self._typed_plan_cache.popitem(last=False)
+        else:
+            self._typed_plan_cache.move_to_end(key)
+        return plan
+
+    def _answer_ranges(self, queries: list[RangeQuery]) -> np.ndarray:
+        """Validated range primitives through the batch or legacy path."""
         if self.use_legacy_answering:
             return np.array([float(self._answer(query)) for query in queries])
         return np.asarray(self._answer_workload(queries), dtype=float)

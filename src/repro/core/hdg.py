@@ -305,6 +305,7 @@ class HDG(PairwiseBatchAnswering, RangeQueryMechanism):
         self.chosen_g1 = int(state["granularity"]["g1"])
         self.chosen_g2 = int(state["granularity"]["g2"])
         self._total_reports = int(state["total_reports"])
+        self._n_reports = self._total_reports
         d, c = self._n_attributes, self._domain_size
         pairs = list(combinations(range(d), 2))
         self.grids_1d = {attribute: Grid1D(attribute, c, self.chosen_g1)
@@ -362,6 +363,10 @@ class HDG(PairwiseBatchAnswering, RangeQueryMechanism):
         self.chosen_g1 = int(payload["g1"])
         self.chosen_g2 = int(payload["g2"])
         self._total_reports = int(payload["total_reports"])
+        if self._n_reports is None:
+            # Pre-IR snapshot documents carry no top-level n_reports, but
+            # the grid payload always recorded the same count.
+            self._n_reports = self._total_reports
         c = self._domain_size
         self.grids_1d = {}
         for key, values in payload["grids_1d"].items():

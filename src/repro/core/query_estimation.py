@@ -145,6 +145,13 @@ class PairwiseBatchAnswering:
     The mixin partitions a workload by query dimension, answers each
     class through the vectorised primitives and runs Algorithm 2 as one
     batched NumPy iteration per distinct λ.
+
+    Mixed-kind workloads arrive here already lowered: the base class
+    compiles marginal/point/count/top-k queries onto range primitives
+    through :class:`~repro.queries.QueryPlanner`, so e.g. a 2-D
+    marginal's ``c²`` degenerate cells land in the pairs partition and
+    are answered as one grouped corner-lookup batch per grid — the
+    mixin needs no per-kind code.
     """
 
     #: Combiner for λ > 2 queries; set by the mechanism constructor.

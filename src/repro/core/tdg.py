@@ -195,6 +195,7 @@ class TDG(PairwiseBatchAnswering, RangeQueryMechanism):
         self._domain_size = int(state["domain_size"])
         self.chosen_g2 = int(state["granularity"]["g2"])
         self._total_reports = int(state["total_reports"])
+        self._n_reports = self._total_reports
         pairs = list(combinations(range(self._n_attributes), 2))
         self.grids = {pair: Grid2D(pair, self._domain_size, self.chosen_g2)
                       for pair in pairs}
@@ -230,6 +231,10 @@ class TDG(PairwiseBatchAnswering, RangeQueryMechanism):
     def _restore_state_payload(self, payload: dict) -> None:
         self.chosen_g2 = int(payload["g2"])
         self._total_reports = int(payload["total_reports"])
+        if self._n_reports is None:
+            # Pre-IR snapshot documents carry no top-level n_reports, but
+            # the grid payload always recorded the same count.
+            self._n_reports = self._total_reports
         self.grids = {}
         for key, rows in payload["grids"].items():
             a, b = (int(part) for part in key.split(","))

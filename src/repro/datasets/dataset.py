@@ -144,17 +144,31 @@ class Dataset:
     # ------------------------------------------------------------------
     def marginal(self, attribute: int) -> np.ndarray:
         """Exact 1-D marginal distribution (frequencies summing to 1)."""
-        counts = np.bincount(self.column(attribute), minlength=self.domain_size)
-        return counts / self.n_users
+        return self.marginal_table((attribute,))
 
     def joint_marginal(self, attr_a: int, attr_b: int) -> np.ndarray:
         """Exact 2-D joint distribution of an attribute pair (c x c)."""
-        self._check_attribute(attr_a)
-        self._check_attribute(attr_b)
+        return self.marginal_table((attr_a, attr_b))
+
+    def marginal_table(self, attributes: tuple[int, ...] | list[int]) -> np.ndarray:
+        """Exact joint distribution over any attribute tuple.
+
+        Returns a ``(c,) * len(attributes)`` table of frequencies summing
+        to 1 — the ground truth of a
+        :class:`~repro.queries.MarginalQuery` (and the table a
+        :class:`~repro.queries.TopKQuery` is scored against).
+        """
+        attributes = tuple(attributes)
+        if not attributes:
+            raise ValueError("marginal_table needs at least one attribute")
+        for attribute in attributes:
+            self._check_attribute(attribute)
         c = self.domain_size
-        flat = self.values[:, attr_a] * c + self.values[:, attr_b]
-        counts = np.bincount(flat, minlength=c * c)
-        return counts.reshape(c, c) / self.n_users
+        flat = np.zeros(self.n_users, dtype=np.int64)
+        for attribute in attributes:
+            flat = flat * c + self.values[:, attribute]
+        counts = np.bincount(flat, minlength=c ** len(attributes))
+        return counts.reshape((c,) * len(attributes)) / self.n_users
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Dataset(name={self.name!r}, n_users={self.n_users}, "

@@ -44,11 +44,13 @@ import numpy as np
 from ..datasets import Dataset, make_dataset
 from ..queries import RangeQuery, WorkloadGenerator
 from ..queries import answer_workload as true_answer_workload
+from ..queries import evaluate_workload as true_evaluate_workload
 from .config import ExperimentConfig
 
 #: Bump when the cached cell schema or the cell computation changes
 #: incompatibly; old entries then miss instead of being misread.
-CACHE_VERSION = 1
+#: v2: cells carry query kinds and per-kind MAEs for mixed workloads.
+CACHE_VERSION = 2
 
 #: Config fields that do not affect what one cell computes.
 EXECUTION_ONLY_FIELDS = frozenset({"n_jobs", "shard_workers", "n_repeats"})
@@ -91,12 +93,19 @@ def cell_key(config: ExperimentConfig, repeat: int, method: str) -> str:
 
 @dataclass
 class CellResult:
-    """Outcome of one executed cell: the MAE and per-query errors."""
+    """Outcome of one executed cell: the MAE and per-query errors.
+
+    Mixed-kind workloads additionally record each query's kind (aligned
+    with ``per_query_errors``) and the per-kind mean errors; pure range
+    workloads leave both None.
+    """
 
     method: str
     repeat: int
     mae: float
     per_query_errors: np.ndarray
+    query_kinds: list[str] | None = None
+    per_kind_mae: dict[str, float] | None = None
 
     def to_dict(self) -> dict:
         """JSON-serialisable form (what the on-disk cache stores)."""
@@ -105,14 +114,21 @@ class CellResult:
             "repeat": self.repeat,
             "mae": self.mae,
             "per_query_errors": self.per_query_errors.tolist(),
+            "query_kinds": self.query_kinds,
+            "per_kind_mae": self.per_kind_mae,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "CellResult":
+        per_kind = payload.get("per_kind_mae")
         return cls(method=str(payload["method"]), repeat=int(payload["repeat"]),
                    mae=float(payload["mae"]),
                    per_query_errors=np.asarray(payload["per_query_errors"],
-                                               dtype=float))
+                                               dtype=float),
+                   query_kinds=payload.get("query_kinds"),
+                   per_kind_mae=({str(kind): float(value)
+                                  for kind, value in per_kind.items()}
+                                 if per_kind is not None else None))
 
 
 class ResultCache:
@@ -182,9 +198,19 @@ def build_dataset(config: ExperimentConfig, repeat: int) -> Dataset:
 
 
 def build_workload(config: ExperimentConfig, repeat: int) -> list[RangeQuery]:
-    """The repetition's default random workload."""
+    """The repetition's default random workload.
+
+    ``config.query_kinds == ("range",)`` (the paper's default) keeps the
+    original pure range workload and RNG stream; any other tuple cycles
+    the listed typed IR kinds round-robin.
+    """
     rng = np.random.default_rng(config.seed + 7_000_003 * repeat + 17)
     generator = WorkloadGenerator(config.n_attributes, config.domain_size, rng=rng)
+    if config.is_mixed_workload:
+        return generator.mixed_workload(config.n_queries,
+                                        config.query_dimension, config.volume,
+                                        query_kinds=tuple(config.query_kinds),
+                                        k=config.top_k)
     return generator.random_workload(config.n_queries, config.query_dimension,
                                      config.volume)
 
@@ -199,7 +225,8 @@ def dataset_memo_key(config: ExperimentConfig, repeat: int) -> str:
 def workload_memo_key(config: ExperimentConfig, repeat: int) -> str:
     """Key over exactly the fields :func:`build_workload` reads."""
     payload = [config.n_attributes, config.domain_size, config.seed,
-               config.n_queries, config.query_dimension, config.volume, repeat]
+               config.n_queries, config.query_dimension, config.volume,
+               list(config.query_kinds), config.top_k, repeat]
     return json.dumps(payload, separators=(",", ":"))
 
 
@@ -250,12 +277,30 @@ def memoized_workload(config: ExperimentConfig, repeat: int) -> list[RangeQuery]
                                        lambda: build_workload(config, repeat))
 
 
+def true_answers(dataset: Dataset, queries: list):
+    """Exact answers of a workload: flat floats, or typed results if mixed.
+
+    Dispatches on the workload's *content* — the same check the
+    mechanisms' ``answer_workload`` applies — so truths and estimates
+    always come back in matching shapes (a mixed ``query_kinds`` config
+    can still generate an all-range workload when ``n_queries`` is
+    smaller than the kind cycle).
+    """
+    if any(not isinstance(query, RangeQuery) for query in queries):
+        return true_evaluate_workload(dataset, queries)
+    return true_answer_workload(dataset, queries)
+
+
 def memoized_truths(config: ExperimentConfig, repeat: int, dataset: Dataset,
-                    queries: list[RangeQuery]) -> np.ndarray:
-    """Exact workload answers, reused across the mechanisms of one cell row."""
+                    queries: list):
+    """Exact workload answers, reused across the mechanisms of one cell row.
+
+    A float vector for pure range workloads; a list of typed
+    :class:`~repro.queries.QueryResult` objects for mixed workloads.
+    """
     key = dataset_memo_key(config, repeat) + "|" + workload_memo_key(config, repeat)
-    return _truths_memo.get_or_build(
-        key, lambda: true_answer_workload(dataset, queries))
+    return _truths_memo.get_or_build(key,
+                                     lambda: true_answers(dataset, queries))
 
 
 def clear_memos() -> None:

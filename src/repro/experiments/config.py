@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any
 
+from ..queries import validate_query_kinds
+
 #: Mechanism line-up of the main-body figures, in the paper's plot order.
 DEFAULT_METHODS = ("Uni", "MSW", "CALM", "HIO", "LHIO", "TDG", "HDG")
 
@@ -57,6 +59,14 @@ class ExperimentConfig:
     #: results bit-for-bit because each cell derives its randomness from
     #: the configuration seed alone.
     n_jobs: int = 1
+    #: Query kinds the generated workload cycles through (round-robin).
+    #: The default is the paper's pure range workload; any other tuple
+    #: produces a mixed typed-IR workload (see
+    #: :meth:`repro.queries.WorkloadGenerator.mixed_workload`) scored
+    #: per kind by the runner.
+    query_kinds: tuple[str, ...] = ("range",)
+    #: ``k`` of any generated top-k queries.
+    top_k: int = 5
 
     def with_overrides(self, **overrides) -> "ExperimentConfig":
         """Return a copy with the given fields replaced."""
@@ -88,3 +98,11 @@ class ExperimentConfig:
             raise ValueError("query_engine must be 'batch' or 'legacy'")
         if self.n_jobs < 1:
             raise ValueError("n_jobs must be positive")
+        validate_query_kinds(self.query_kinds)
+        if self.top_k < 1:
+            raise ValueError("top_k must be positive")
+
+    @property
+    def is_mixed_workload(self) -> bool:
+        """Whether the workload mixes typed IR kinds beyond plain ranges."""
+        return tuple(self.query_kinds) != ("range",)

@@ -36,10 +36,12 @@ from typing import Any, Callable
 
 import numpy as np
 
-from ..metrics import absolute_errors, mean_absolute_error
+from ..metrics import (absolute_errors, mean_absolute_error, per_kind_errors,
+                       workload_result_errors)
+from ..queries import RangeQuery, query_kind
 from .cache import (CellResult, ResultCache, _MemoStore, cell_key,
                     config_fingerprint, memoized_dataset, memoized_truths,
-                    memoized_workload)
+                    memoized_workload, true_answers)
 from .config import ExperimentConfig
 
 #: Signature of the optional workload override: (config, dataset, repeat).
@@ -57,6 +59,26 @@ _factory_inputs_memo = _MemoStore(max_entries=4)
 def _factory_identity(factory: WorkloadFactory) -> str:
     return (f"{getattr(factory, '__module__', '?')}"
             f".{getattr(factory, '__qualname__', repr(factory))}")
+
+
+def score_workload(queries: list, estimates, truths) -> CellResult:
+    """Fold one cell's estimates and truths into a :class:`CellResult`.
+
+    Pure range workloads score exactly as before (flat absolute
+    errors); mixed typed workloads score each result against its typed
+    truth (:func:`repro.metrics.result_error`) and additionally record
+    the query kinds and per-kind mean errors.  ``method``/``repeat``
+    are filled by the caller.
+    """
+    if any(not isinstance(query, RangeQuery) for query in queries):
+        errors = workload_result_errors(estimates, truths)
+        return CellResult(method="", repeat=0, mae=float(errors.mean()),
+                          per_query_errors=errors,
+                          query_kinds=[query_kind(query) for query in queries],
+                          per_kind_mae=per_kind_errors(queries, errors))
+    return CellResult(method="", repeat=0,
+                      mae=mean_absolute_error(estimates, truths),
+                      per_query_errors=absolute_errors(estimates, truths))
 
 
 @dataclass(frozen=True)
@@ -90,7 +112,6 @@ def evaluate_cell(config: ExperimentConfig, repeat: int, position: int,
             queries = memoized_workload(config, repeat)
             truths = memoized_truths(config, repeat, dataset, queries)
         else:
-            from ..queries import answer_workload
             memo_key = json.dumps(
                 [config_fingerprint(config), repeat,
                  _factory_identity(workload_factory)],
@@ -98,13 +119,12 @@ def evaluate_cell(config: ExperimentConfig, repeat: int, position: int,
 
             def build_factory_inputs():
                 built = workload_factory(config, dataset, repeat)
-                return built, answer_workload(dataset, built)
+                return built, true_answers(dataset, built)
 
             queries, truths = _factory_inputs_memo.get_or_build(
                 memo_key, build_factory_inputs)
     elif truths is None:
-        from ..queries import answer_workload
-        truths = answer_workload(dataset, queries)
+        truths = true_answers(dataset, queries)
 
     kwargs: dict[str, Any] = dict(config.mechanism_kwargs.get(method, {}))
     method_seed = config.seed + 31 * repeat + position
@@ -116,9 +136,10 @@ def evaluate_cell(config: ExperimentConfig, repeat: int, position: int,
         mechanism.fit(dataset)
     mechanism.use_legacy_answering = config.query_engine == "legacy"
     estimates = mechanism.answer_workload(queries)
-    return CellResult(method=method, repeat=repeat,
-                      mae=mean_absolute_error(estimates, truths),
-                      per_query_errors=absolute_errors(estimates, truths))
+    result = score_workload(queries, estimates, truths)
+    result.method = method
+    result.repeat = repeat
+    return result
 
 
 def _evaluate_cell_task(payload: tuple) -> tuple[int, CellResult]:
@@ -232,11 +253,10 @@ def execute_grid(configs: list[ExperimentConfig],
             if workload_factory is not None:
                 inputs_key = (cell.config_index, cell.repeat)
                 if inputs_key not in factory_inputs:
-                    from ..queries import answer_workload
                     dataset = memoized_dataset(config, cell.repeat)
                     built = workload_factory(config, dataset, cell.repeat)
                     factory_inputs[inputs_key] = (
-                        built, answer_workload(dataset, built))
+                        built, true_answers(dataset, built))
                 queries, truths = factory_inputs[inputs_key]
             record(cell, evaluate_cell(config, cell.repeat, cell.position,
                                        cell.method,
@@ -268,17 +288,66 @@ def validate_equal_workload_lengths(config: ExperimentConfig,
     to surface as an opaque stack-shape crash.
     """
     lengths: dict[int, int] = {}
+    kinds: dict[int, list[str] | None] = {}
     for (repeat, _method), result in cells.items():
         lengths.setdefault(repeat, int(result.per_query_errors.shape[0]))
+        kinds.setdefault(repeat, result.query_kinds)
     distinct = sorted(set(lengths.values()))
     if len(distinct) > 1:
-        detail = ", ".join(f"repeat {repeat}: {length} queries"
-                           for repeat, length in sorted(lengths.items()))
+
+        def describe(repeat: int) -> str:
+            """'repeat 0: 12 queries (8 range, 4 marginal)'."""
+            summary = f"repeat {repeat}: {lengths[repeat]} queries"
+            if kinds.get(repeat):
+                counts: dict[str, int] = {}
+                for kind in kinds[repeat]:
+                    counts[kind] = counts.get(kind, 0) + 1
+                breakdown = ", ".join(f"{count} {kind}"
+                                      for kind, count in sorted(counts.items()))
+                summary += f" ({breakdown})"
+            return summary
+
+        # Majority length = the expected one; the anomaly is the first
+        # repetition that deviates from it (ties go to the length seen
+        # in the earliest repetition).
+        counts: dict[int, int] = {}
+        for repeat in sorted(lengths):
+            counts[lengths[repeat]] = counts.get(lengths[repeat], 0) + 1
+        majority = max(counts, key=counts.get)
+        baseline = min(repeat for repeat in lengths
+                       if lengths[repeat] == majority)
+        offender = min(repeat for repeat in lengths
+                       if lengths[repeat] != majority)
         raise ValueError(
             "workload_factory returned workloads of different lengths across "
-            f"repetitions ({detail}); per-query errors can only be averaged "
-            "over repetitions when every repetition answers the same number "
-            "of queries")
+            f"repetitions ({', '.join(describe(r) for r in sorted(lengths))}); "
+            f"repeat {offender} first disagrees with repeat {baseline}. "
+            "Per-query errors can only be averaged over repetitions when "
+            "every repetition answers the same number of queries")
+
+    # Equal lengths are not enough for mixed workloads: per-query errors
+    # are averaged position-wise, so the query *kind* at each position
+    # must agree across repetitions too.  Pure-range cells record no
+    # kind list — that means "range at every position", which must
+    # still be compared against typed repetitions of the same length.
+    recorded = {repeat: (list(kind_list) if kind_list is not None
+                         else ["range"] * lengths[repeat])
+                for repeat, kind_list in kinds.items()}
+    if len({tuple(kind_list) for kind_list in recorded.values()}) > 1:
+        baseline = min(recorded)
+        offender = next(repeat for repeat in sorted(recorded)
+                        if recorded[repeat] != recorded[baseline])
+        position = next(index for index, (a, b)
+                        in enumerate(zip(recorded[offender],
+                                         recorded[baseline]))
+                        if a != b)
+        raise ValueError(
+            "workload_factory returned kind-misaligned workloads across "
+            f"repetitions: query {position} is a "
+            f"{recorded[offender][position]} query in repeat {offender} but "
+            f"a {recorded[baseline][position]} query in repeat {baseline}; "
+            "per-query errors can only be averaged position-wise when every "
+            "repetition asks the same kind at each position")
 
 
 def assemble_method_series(config: ExperimentConfig,

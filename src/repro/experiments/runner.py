@@ -75,6 +75,8 @@ class MethodResult:
     method: str
     mae: RepeatedRunSummary
     per_query_errors: np.ndarray
+    #: Per-query-kind MAE summaries; None for pure range workloads.
+    per_kind_mae: dict[str, RepeatedRunSummary] | None = None
 
 
 @dataclass
@@ -117,10 +119,19 @@ def _assemble_result(config: ExperimentConfig, cells) -> ExperimentResult:
     result = ExperimentResult(config=config)
     for method in config.methods:
         maes, mean_errors = assemble_method_series(config, cells, method)
+        kind_series: dict[str, list[float]] = {}
+        for repeat in range(config.n_repeats):
+            per_kind = cells[(repeat, method)].per_kind_mae
+            if per_kind:
+                for kind, value in per_kind.items():
+                    kind_series.setdefault(kind, []).append(value)
         result.methods[method] = MethodResult(
             method=method,
             mae=RepeatedRunSummary.from_values(maes),
             per_query_errors=mean_errors,
+            per_kind_mae=({kind: RepeatedRunSummary.from_values(values)
+                           for kind, values in kind_series.items()}
+                          if kind_series else None),
         )
     return result
 

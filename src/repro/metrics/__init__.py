@@ -1,7 +1,8 @@
-"""Evaluation metrics (MAE and error distributions)."""
+"""Evaluation metrics (MAE, error distributions, typed-result scoring)."""
 
 from .errors import (RepeatedRunSummary, absolute_errors, error_histogram,
-                     mean_absolute_error, mean_squared_error)
+                     mean_absolute_error, mean_squared_error, per_kind_errors,
+                     result_error, workload_result_errors)
 
 __all__ = [
     "RepeatedRunSummary",
@@ -9,4 +10,7 @@ __all__ = [
     "error_histogram",
     "mean_absolute_error",
     "mean_squared_error",
+    "per_kind_errors",
+    "result_error",
+    "workload_result_errors",
 ]

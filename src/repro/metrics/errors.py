@@ -4,6 +4,13 @@ The paper reports the Mean Absolute Error (MAE) over a workload of range
 queries, and the appendix additionally inspects the distribution of
 per-query absolute errors (Figures 9-10).  Both are provided here along
 with small helpers for aggregating repeated runs.
+
+Typed IR workloads (:mod:`repro.queries`) are scored through
+:func:`result_error` / :func:`workload_result_errors`, which reduce every
+result kind to one frequency-scale error per query so mixed workloads
+aggregate into the same MAE the paper reports, and
+:func:`per_kind_errors` breaks a mixed workload's errors down by query
+kind.
 """
 
 from __future__ import annotations
@@ -11,6 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from ..queries import (DistributionResult, QueryResult, ScalarResult,
+                       TopKResult, query_kind)
 
 
 def absolute_errors(estimates: np.ndarray, truths: np.ndarray) -> np.ndarray:
@@ -60,3 +70,82 @@ def error_histogram(errors: np.ndarray, n_bins: int = 20) -> tuple[np.ndarray, n
     errors = np.asarray(errors, dtype=float)
     counts, edges = np.histogram(errors, bins=n_bins)
     return counts, edges
+
+
+# ----------------------------------------------------------------------
+# Typed-result scoring (mixed IR workloads)
+# ----------------------------------------------------------------------
+def result_error(estimate: QueryResult, truth: QueryResult) -> float:
+    """One frequency-scale error between a typed estimate and its truth.
+
+    Every kind reduces to the same [0, 1]-ish frequency scale so mixed
+    workloads aggregate into one MAE:
+
+    * range / point — plain absolute error of the scalar;
+    * count — absolute error divided by the truth's population (the
+      count error re-expressed as a frequency error);
+    * marginal — mean absolute per-cell error over the full table;
+    * top-k — mean absolute error of the estimated top-k frequencies
+      against the *true* frequencies of the selected cells (requires the
+      truth side to carry the full table, which
+      :func:`repro.queries.evaluate_query` always provides).
+    """
+    if type(estimate) is not type(truth):
+        raise TypeError(
+            f"cannot score a {type(estimate).__name__} against a "
+            f"{type(truth).__name__}")
+    estimate_kind = query_kind(estimate.query)
+    truth_kind = query_kind(truth.query)
+    if estimate_kind != truth_kind:
+        # Range and count both produce ScalarResults; scoring one
+        # against the other would silently mis-scale the error.
+        raise TypeError(
+            f"cannot score a {estimate_kind} estimate against a "
+            f"{truth_kind} truth (misaligned workloads?)")
+    if isinstance(estimate, ScalarResult):
+        error = abs(float(estimate.value) - float(truth.value))
+        if truth.population is not None:
+            error /= float(truth.population)
+        return error
+    if isinstance(estimate, DistributionResult):
+        if estimate.values.shape != truth.values.shape:
+            raise ValueError(
+                f"marginal shapes differ: {estimate.values.shape} vs "
+                f"{truth.values.shape}")
+        return float(np.abs(estimate.values - truth.values).mean())
+    if isinstance(estimate, TopKResult):
+        if truth.distribution is None:
+            raise ValueError(
+                "scoring a top-k estimate needs the truth's full marginal "
+                "table (TopKResult.distribution)")
+        true_values = np.array([truth.distribution[cell]
+                                for cell in estimate.cells])
+        return float(np.abs(estimate.values - true_values).mean())
+    raise TypeError(f"cannot score {type(estimate).__name__}")
+
+
+def workload_result_errors(estimates: list[QueryResult],
+                           truths: list[QueryResult]) -> np.ndarray:
+    """Per-query errors of a typed workload (one value per query)."""
+    if len(estimates) != len(truths):
+        raise ValueError(
+            f"{len(estimates)} estimates but {len(truths)} truths")
+    return np.array([result_error(estimate, truth)
+                     for estimate, truth in zip(estimates, truths)])
+
+
+def per_kind_errors(queries: list, errors: np.ndarray) -> dict[str, float]:
+    """Mean error per query kind of a mixed workload.
+
+    ``queries`` and ``errors`` are aligned (one error per query, e.g.
+    from :func:`workload_result_errors`); the result maps each kind
+    present in the workload to the mean of its queries' errors.
+    """
+    errors = np.asarray(errors, dtype=float)
+    if len(queries) != errors.shape[0]:
+        raise ValueError(
+            f"{len(queries)} queries but {errors.shape[0]} errors")
+    by_kind: dict[str, list[float]] = {}
+    for query, error in zip(queries, errors):
+        by_kind.setdefault(query_kind(query), []).append(float(error))
+    return {kind: float(np.mean(values)) for kind, values in by_kind.items()}

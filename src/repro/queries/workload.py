@@ -20,6 +20,8 @@ import numpy as np
 
 from ..datasets import Dataset
 from .ground_truth import answer_workload
+from .ir import (QUERY_KINDS, MarginalQuery, PointQuery, PredicateCountQuery,
+                 TopKQuery, validate_query_kinds)
 from .range_query import Predicate, RangeQuery
 
 
@@ -74,6 +76,82 @@ class WorkloadGenerator:
         if n_queries < 1:
             raise ValueError("n_queries must be >= 1")
         return [self.random_query(dimension, volume) for _ in range(n_queries)]
+
+    # ------------------------------------------------------------------
+    # Typed-IR workloads (mixed query kinds through one answering stack)
+    # ------------------------------------------------------------------
+    def _random_attributes(self, dimension: int) -> list[int]:
+        """``dimension`` distinct random attribute indices, sorted."""
+        if not 1 <= dimension <= self.n_attributes:
+            raise ValueError(
+                f"query dimension must be in [1, {self.n_attributes}], got "
+                f"{dimension}")
+        chosen = self.rng.choice(self.n_attributes, size=dimension,
+                                 replace=False)
+        return sorted(chosen.tolist())
+
+    def random_point_query(self, dimension: int) -> PointQuery:
+        """One random λ-D point query (uniform cell)."""
+        assignment = tuple(
+            (attribute, int(self.rng.integers(0, self.domain_size)))
+            for attribute in self._random_attributes(dimension))
+        return PointQuery(assignment)
+
+    def random_marginal_query(self, dimension: int) -> MarginalQuery:
+        """One random λ-attribute marginal (full group-by table)."""
+        return MarginalQuery(tuple(self._random_attributes(dimension)))
+
+    def random_count_query(self, dimension: int, volume: float,
+                           population: int | None = None) -> PredicateCountQuery:
+        """One random λ-D predicate-count query with per-dimension volume ω."""
+        base = self.random_query(dimension, volume)
+        return PredicateCountQuery(base.predicates, population=population)
+
+    def random_topk_query(self, dimension: int, k: int = 5) -> TopKQuery:
+        """One random λ-attribute top-k group-by query."""
+        return TopKQuery(tuple(self._random_attributes(dimension)), k=k)
+
+    def mixed_workload(self, n_queries: int, dimension: int, volume: float,
+                       query_kinds: tuple[str, ...] = QUERY_KINDS,
+                       k: int = 5,
+                       table_dimension: int | None = None) -> list:
+        """A workload cycling through several query kinds round-robin.
+
+        Parameters
+        ----------
+        n_queries:
+            Total number of queries (all kinds together).
+        dimension, volume:
+            λ and ω of the range-shaped kinds (range, point, count).
+        query_kinds:
+            Kinds to cycle through, from :data:`~repro.queries.QUERY_KINDS`.
+        k:
+            ``k`` of any generated top-k queries.
+        table_dimension:
+            Group-by arity of marginal/top-k queries.  Defaults to
+            ``min(dimension, 2)`` — a λ-attribute marginal lowers to
+            ``c^λ`` primitives, so full tables above two attributes are
+            opt-in.
+        """
+        if n_queries < 1:
+            raise ValueError("n_queries must be >= 1")
+        query_kinds = validate_query_kinds(query_kinds)
+        if table_dimension is None:
+            table_dimension = min(dimension, 2)
+        queries = []
+        for index in range(n_queries):
+            kind = query_kinds[index % len(query_kinds)]
+            if kind == "range":
+                queries.append(self.random_query(dimension, volume))
+            elif kind == "marginal":
+                queries.append(self.random_marginal_query(table_dimension))
+            elif kind == "point":
+                queries.append(self.random_point_query(dimension))
+            elif kind == "count":
+                queries.append(self.random_count_query(dimension, volume))
+            else:  # "topk"
+                queries.append(self.random_topk_query(table_dimension, k=k))
+        return queries
 
     # ------------------------------------------------------------------
     # Exhaustive workloads (appendix experiments)

@@ -8,9 +8,11 @@ changes:
 =======  =============  ====================================================
 Method   Path           Meaning
 =======  =============  ====================================================
-GET      ``/healthz``   Service status document (always 200 when up)
+GET      ``/healthz``   Service status document + package version
 POST     ``/ingest``    ``{"rows": [[...], ...], "domain_size"?: c}``
-POST     ``/query``     ``{"queries": [{"predicates": [[a, lo, hi], ...]}]}``
+POST     ``/query``     ``{"queries": [...]}`` — typed wire queries (range,
+                        marginal, point, count, topk; see
+                        :func:`repro.serving.query_from_wire`)
 POST     ``/refinalize``  Force a re-finalize of the pending reports
 POST     ``/snapshot``  Write a snapshot version (requires a store)
 GET      ``/snapshot``  List stored snapshot versions
@@ -32,6 +34,7 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from .._version import package_version
 from .service import QueryService, ServiceError
 from .snapshot import SnapshotStore
 
@@ -96,7 +99,9 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         """Read-only routes: ``/healthz`` and the snapshot listing."""
         if self.path == "/healthz":
-            self._send_json(200, {"status": "ok", **self.service.status()})
+            self._send_json(200, {"status": "ok",
+                                  "version": package_version(),
+                                  **self.service.status()})
         elif self.path == "/snapshot":
             if self.snapshot_store is None:
                 self._send_json(409, {"error": "no snapshot store configured "
@@ -120,9 +125,7 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(200, receipt)
             elif self.path == "/query":
                 payload = self._read_json()
-                answers = self.service.query_wire(payload["queries"])
-                self._send_json(200, {"answers": answers,
-                                      "count": len(answers)})
+                self._send_json(200, self.service.query_wire(payload["queries"]))
             elif self.path == "/refinalize":
                 self._send_json(200, self.service.refinalize())
             elif self.path == "/snapshot":

@@ -38,7 +38,9 @@ from ..core import RangeQueryMechanism
 from ..core.base import check_state_document
 from ..datasets import Dataset
 from ..pipeline.aggregator import SHARDABLE_MECHANISMS
-from ..queries import Predicate, RangeQuery
+from ..queries import (MarginalQuery, PointQuery, Predicate,
+                       PredicateCountQuery, Query, QueryResult, RangeQuery,
+                       ScalarResult, TopKQuery, query_kind)
 from .snapshot import SnapshotInfo, SnapshotStore, restore_mechanism
 
 #: Format tag written into serialized service states.
@@ -51,7 +53,7 @@ class ServiceError(RuntimeError):
 
 
 # ----------------------------------------------------------------------
-# Wire format: queries as plain JSON values
+# Wire format: typed queries and results as plain JSON values
 # ----------------------------------------------------------------------
 def predicate_from_wire(obj) -> Predicate:
     """One predicate from ``[attribute, low, high]`` or the dict form."""
@@ -62,21 +64,85 @@ def predicate_from_wire(obj) -> Predicate:
     return Predicate(int(attribute), int(low), int(high))
 
 
-def query_from_wire(obj) -> RangeQuery:
-    """One query from ``{"predicates": [...]}`` or a bare predicate list."""
-    predicates = obj["predicates"] if isinstance(obj, dict) else obj
-    return RangeQuery(tuple(predicate_from_wire(item) for item in predicates))
+def _predicates_from_wire(obj) -> tuple[Predicate, ...]:
+    return tuple(predicate_from_wire(item) for item in obj["predicates"])
 
 
-def queries_from_wire(objs) -> list[RangeQuery]:
+def _assignment_from_wire(obj) -> tuple[tuple[int, int], ...]:
+    """A point query's cell from ``[[attr, value], ...]`` or a dict."""
+    assignment = obj["assignment"]
+    if isinstance(assignment, dict):
+        return tuple((int(attribute), int(value))
+                     for attribute, value in assignment.items())
+    return tuple((int(attribute), int(value))
+                 for attribute, value in assignment)
+
+
+def query_from_wire(obj) -> Query:
+    """One typed query from its JSON wire form.
+
+    The dict form carries an optional ``"type"`` discriminator —
+    ``range`` (default, for backward compatibility), ``marginal``,
+    ``point``, ``count`` or ``topk``:
+
+    * ``{"type": "range", "predicates": [[a, lo, hi], ...]}``
+    * ``{"type": "marginal", "attributes": [a, ...]}``
+    * ``{"type": "point", "assignment": [[a, v], ...]}``
+    * ``{"type": "count", "predicates": [...], "population"?: n}``
+    * ``{"type": "topk", "attributes": [a, ...], "k": k}``
+
+    A bare predicate list (the pre-IR wire form) still parses as a
+    range query.
+    """
+    if not isinstance(obj, dict):
+        return RangeQuery(tuple(predicate_from_wire(item) for item in obj))
+    kind = obj.get("type", "range")
+    if kind == "range":
+        return RangeQuery(_predicates_from_wire(obj))
+    if kind == "marginal":
+        return MarginalQuery(tuple(int(a) for a in obj["attributes"]))
+    if kind == "point":
+        return PointQuery(_assignment_from_wire(obj))
+    if kind == "count":
+        population = obj.get("population")
+        return PredicateCountQuery(
+            _predicates_from_wire(obj),
+            population=int(population) if population is not None else None)
+    if kind == "topk":
+        return TopKQuery(tuple(int(a) for a in obj["attributes"]),
+                         k=int(obj.get("k", 1)))
+    raise ValueError(f"unknown query type {kind!r}; known: "
+                     "range, marginal, point, count, topk")
+
+
+def queries_from_wire(objs) -> list[Query]:
     """A workload from a JSON list of wire-format queries."""
     return [query_from_wire(obj) for obj in objs]
 
 
-def query_to_wire(query: RangeQuery) -> dict:
-    """The wire form of a query (inverse of :func:`query_from_wire`)."""
-    return {"predicates": [[p.attribute, p.low, p.high]
-                           for p in query.predicates]}
+def query_to_wire(query: Query) -> dict:
+    """The wire form of a typed query (inverse of :func:`query_from_wire`)."""
+    if isinstance(query, RangeQuery):
+        return {"predicates": [[p.attribute, p.low, p.high]
+                               for p in query.predicates]}
+    if isinstance(query, MarginalQuery):
+        return {"type": "marginal", "attributes": list(query.attributes)}
+    if isinstance(query, PointQuery):
+        return {"type": "point",
+                "assignment": [[attribute, value]
+                               for attribute, value in query.assignment]}
+    if isinstance(query, PredicateCountQuery):
+        document = {"type": "count",
+                    "predicates": [[p.attribute, p.low, p.high]
+                                   for p in query.predicates]}
+        if query.population is not None:
+            document["population"] = int(query.population)
+        return document
+    if isinstance(query, TopKQuery):
+        return {"type": "topk", "attributes": list(query.attributes),
+                "k": int(query.k)}
+    raise TypeError(f"cannot serialize {type(query).__name__} "
+                    f"({query_kind(query)})")
 
 
 class QueryService:
@@ -278,19 +344,44 @@ class QueryService:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def query(self, queries: list[RangeQuery]) -> np.ndarray:
-        """Answer a workload with the current estimator."""
-        with self._lock:
-            if self._estimator is None:
-                raise ServiceError(
-                    "service is not ready: ingest reports and re-finalize "
-                    "(or restore a snapshot) before querying")
-            return self._estimator.answer_workload(queries)
+    def _require_estimator(self) -> RangeQueryMechanism:
+        """The serving estimator; raises when no finalize/restore happened."""
+        if self._estimator is None:
+            raise ServiceError(
+                "service is not ready: ingest reports and re-finalize "
+                "(or restore a snapshot) before querying")
+        return self._estimator
 
-    def query_wire(self, objs) -> list[float]:
-        """Answer a JSON-wire workload (what ``POST /query`` calls)."""
-        return [float(answer) for answer
-                in self.query(queries_from_wire(objs))]
+    def query(self, queries: list) -> np.ndarray | list[QueryResult]:
+        """Answer a (possibly mixed-kind) workload with the current estimator.
+
+        Pure range workloads return the flat float vector; workloads
+        containing other IR kinds return typed results (see
+        :meth:`repro.core.RangeQueryMechanism.answer_workload`).
+        """
+        with self._lock:
+            return self._require_estimator().answer_workload(queries)
+
+    def query_typed(self, queries: list) -> list[QueryResult]:
+        """Answer any workload as typed results, range-only ones included."""
+        with self._lock:
+            return self._require_estimator().answer_typed(queries)
+
+    def query_wire(self, objs) -> dict:
+        """Answer a JSON-wire workload (what ``POST /query`` serves).
+
+        The response document always carries ``results`` (one typed
+        document per query, see :meth:`repro.queries.QueryResult.to_wire`)
+        and ``count``; when every result is scalar (range, point, count)
+        it additionally carries the flat ``answers`` float list the
+        pre-IR API served.
+        """
+        results = self.query_typed(queries_from_wire(objs))
+        document = {"count": len(results),
+                    "results": [result.to_wire() for result in results]}
+        if all(isinstance(result, ScalarResult) for result in results):
+            document["answers"] = [float(result.value) for result in results]
+        return document
 
     # ------------------------------------------------------------------
     # Snapshot / restore
