@@ -4,16 +4,24 @@ PR 4 added a long-lived query service (``repro.serving``): privatized
 reports stream in through the shard ``partial_fit`` path, a re-finalize
 swaps in a fresh estimator, and workloads are answered over a stdlib
 JSON-over-HTTP API.  This benchmark measures that serving loop
-end-to-end against a live in-process ``ThreadingHTTPServer``:
+end-to-end against a live in-process worker-pool server:
 
 * **ingest** — reports/sec through ``POST /ingest`` (JSON rows in,
   accumulator update, receipt out);
 * **re-finalize** — seconds for one ``POST /refinalize`` (Phase 2 on
   the accumulated counts);
-* **query (HTTP)** — queries/sec through ``POST /query`` on a mixed-λ
-  workload;
+* **query (HTTP)** — queries/sec through per-request ``POST /query``
+  calls on a mixed-λ workload (one fresh connection per request, the
+  pre-batching wire pattern);
+* **query (batched HTTP)** — queries/sec posting ``{"workloads":
+  [...]}`` batches over one keep-alive connection: the whole batch is
+  answered under a single service lock acquisition against compiled
+  plans, so this is the serving front end's hot path;
 * **query (in-process)** — the same workload straight through
-  ``QueryService.query``, isolating the HTTP + JSON overhead.
+  ``QueryService.query``, isolating the HTTP + JSON overhead;
+* **query (in-process, single)** — one ``service.query([q])`` call per
+  query, the no-batching floor that the batched HTTP path is expected
+  to beat.
 
 Run directly::
 
@@ -28,6 +36,7 @@ trajectory artifact at the repository root.
 from __future__ import annotations
 
 import argparse
+import http.client
 import json
 import sys
 import threading
@@ -96,18 +105,48 @@ def run(n_batches: int, batch_size: int, n_attributes: int, domain_size: int,
         assert answered["count"] == len(workload)
         assert all(np.isfinite(answered["answers"]))
 
+        # Batched HTTP: every round ships the whole workload batch as
+        # one {"workloads": [...]} POST over a single keep-alive
+        # connection.  One warm-up round compiles the plans.
+        batch = {"workloads": [wire_workload]}
+        body = json.dumps(batch).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        try:
+            connection.request("POST", "/query", body=body, headers=headers)
+            warmup = json.loads(connection.getresponse().read())
+            assert warmup["count"] == len(workload)
+            start = time.perf_counter()
+            for _ in range(query_rounds):
+                connection.request("POST", "/query", body=body,
+                                   headers=headers)
+                batched = json.loads(connection.getresponse().read())
+            batched_seconds = time.perf_counter() - start
+            assert batched["count"] == len(workload)
+        finally:
+            connection.close()
+
         start = time.perf_counter()
         for _ in range(query_rounds):
             in_process = service.query(workload)
         direct_seconds = time.perf_counter() - start
         assert np.isfinite(in_process).all()
+
+        # The no-batching floor: one service.query call per query.
+        start = time.perf_counter()
+        for query in workload:
+            single = service.query([query])
+        single_seconds = time.perf_counter() - start
+        assert np.isfinite(single).all()
     finally:
         server.shutdown()
         server.server_close()
 
     ingest_rate = total_users / ingest_seconds
     http_rate = query_rounds * len(workload) / http_seconds
+    batched_rate = query_rounds * len(workload) / batched_seconds
     direct_rate = query_rounds * len(workload) / direct_seconds
+    single_rate = len(workload) / single_seconds
     lines = [
         f"serving throughput: HDG eps={epsilon} d={n_attributes} "
         f"c={domain_size} ({'smoke' if smoke else 'full'})",
@@ -116,8 +155,12 @@ def run(n_batches: int, batch_size: int, n_attributes: int, domain_size: int,
         f"  re-finalize       : {refinalize_seconds:6.3f}s",
         f"  query over HTTP   : {query_rounds * len(workload):>8} queries in "
         f"{http_seconds:6.2f}s  -> {http_rate:10.1f} queries/sec",
+        f"  query batched HTTP: {query_rounds * len(workload):>8} queries in "
+        f"{batched_seconds:6.2f}s  -> {batched_rate:10.1f} queries/sec",
         f"  query in-process  : {query_rounds * len(workload):>8} queries in "
         f"{direct_seconds:6.2f}s  -> {direct_rate:10.1f} queries/sec",
+        f"  query single-call : {len(workload):>8} queries in "
+        f"{single_seconds:6.2f}s  -> {single_rate:10.1f} queries/sec",
     ]
     entry = {
         "mode": "smoke" if smoke else "full",
@@ -126,7 +169,9 @@ def run(n_batches: int, batch_size: int, n_attributes: int, domain_size: int,
         "ingest_reports_per_sec": round(ingest_rate, 1),
         "refinalize_seconds": round(refinalize_seconds, 4),
         "http_queries_per_sec": round(http_rate, 1),
+        "batched_http_queries_per_sec": round(batched_rate, 1),
         "in_process_queries_per_sec": round(direct_rate, 1),
+        "in_process_single_query_per_sec": round(single_rate, 1),
     }
     return "\n".join(lines), entry
 

@@ -283,12 +283,13 @@ def _command_serve(args: argparse.Namespace) -> int:
         service = _build_streaming_service(args)
 
     server = build_server(service, host=args.host, port=args.port,
-                          snapshot_store=store, verbose=args.verbose)
+                          snapshot_store=store, verbose=args.verbose,
+                          workers=args.workers)
     host, port = server.server_address[:2]
     status = service.status()
     print(f"serving {status['mechanism']} (eps={status['epsilon']}, "
           f"mode={status['mode']}, ready={status['ready']}) "
-          f"on http://{host}:{port}", flush=True)
+          f"on http://{host}:{port} with {args.workers} workers", flush=True)
     print("endpoints: GET /healthz  POST /ingest  POST /query  "
           "POST /refinalize  POST|GET /snapshot", flush=True)
     try:
@@ -443,8 +444,13 @@ def build_parser() -> argparse.ArgumentParser:
                                    "instead of the latest")
     serve_parser.add_argument("--max-requests", type=int, default=None,
                               metavar="N",
-                              help="exit after serving N requests (smoke "
+                              help="exit after serving N connections (smoke "
                                    "tests; default: run until interrupted)")
+    serve_parser.add_argument("--workers", type=int, default=8,
+                              metavar="N",
+                              help="request worker pool size (each worker "
+                                   "owns one keep-alive connection at a "
+                                   "time)")
     serve_parser.add_argument("--verbose", action="store_true",
                               help="log one line per handled request")
     serve_parser.set_defaults(handler=_command_serve)

@@ -46,13 +46,12 @@ hooks.
 from __future__ import annotations
 
 import abc
-from collections import OrderedDict
 
 import numpy as np
 
 from ..datasets import Dataset
-from ..queries import (ALL_QUERY_KINDS, Query, QueryPlanner, QueryResult,
-                       RangeQuery)
+from ..queries import (ALL_QUERY_KINDS, CompiledPlan, PlanCache, Query,
+                       QueryPlanner, QueryResult, RangeQuery, plan_cache_key)
 
 #: Format tag written into serialized fitted-mechanism states.
 MECHANISM_STATE_FORMAT = "repro.mechanism-state"
@@ -114,11 +113,12 @@ class RangeQueryMechanism(abc.ABC):
         self._n_attributes: int | None = None
         self._domain_size: int | None = None
         self._n_reports: int | None = None
-        #: FIFO-bounded memo of compiled QueryPlans keyed by (schema,
-        #: workload); planning a marginal allocates c^λ range primitives,
-        #: so a service answering the same typed workload repeatedly
-        #: should pay that once, not per request.
-        self._typed_plan_cache: "OrderedDict[tuple, object]" = OrderedDict()
+        #: Bounded LRU of :class:`~repro.queries.CompiledPlan` keyed by a
+        #: stable (schema, workload) hash; planning a marginal allocates
+        #: c^λ range primitives and compiling freezes the fused gather
+        #: layout, so a service answering the same typed workload
+        #: repeatedly pays both once, not per request.
+        self._typed_plan_cache = PlanCache(self._PLAN_CACHE_ENTRIES)
 
     # ------------------------------------------------------------------
     # Collection
@@ -374,46 +374,65 @@ class RangeQueryMechanism(abc.ABC):
         return self._answer_ranges(queries)
 
     def answer_typed(self, queries: list) -> list[QueryResult]:
-        """Answer a typed IR workload: plan, batch-answer, reassemble.
+        """Answer a typed IR workload: compile, batch-answer, reassemble.
 
         The planner lowers every query onto range primitives (checking
         it against :attr:`query_capabilities` and the fitted schema),
-        the primitives run through the same batch engine as a plain
-        range workload, and the plan slices the flat answers back into
-        typed results — so marginal cells, point estimates, count
-        scaling and top-k selection all ride the one answering stack.
+        the compiler freezes the lowered plan into fused gather arrays,
+        the primitives run through :meth:`_answer_compiled` — grouped
+        vectorised lookups on mechanisms with fused hooks, the plain
+        batch engine otherwise — and the compiled plan gathers the flat
+        answers back into typed results in one vectorised pass, so
+        marginal cells, point estimates, count scaling and top-k
+        selection all ride the one answering stack.
         """
         self._require_fitted()
-        plan = self._plan_for(queries)
+        compiled = self._plan_for(queries)
         # The planner validated every query against the fitted schema, and
         # lowering only emits primitives inside the validated bounds — no
         # per-primitive re-validation needed.
-        ranges = plan.ranges
-        answers = self._answer_ranges(ranges) if ranges else np.empty(0)
-        return plan.assemble(answers)
+        answers = (self._answer_compiled(compiled) if compiled.n_primitives
+                   else np.empty(0))
+        return compiled.assemble(answers)
 
     #: Number of compiled plans kept per mechanism instance.
     _PLAN_CACHE_ENTRIES = 8
 
-    def _plan_for(self, queries: list):
+    def _plan_for(self, queries: list) -> CompiledPlan:
         """The workload's compiled plan, memoized per fitted schema.
 
-        Queries are hashable frozen dataclasses, so the (schema,
-        workload) tuple is a sound key; the schema part covers refits
-        and population changes that would alter count scaling.
+        Keyed by :func:`~repro.queries.plan_cache_key` — a stable
+        content hash of the workload plus the fitted ``(d, c,
+        population)`` schema, so refits and population changes (which
+        alter count scaling) miss instead of serving a stale plan.
         """
-        key = (self._n_attributes, self._domain_size, self._n_reports,
-               tuple(queries))
-        plan = self._typed_plan_cache.get(key)
-        if plan is None:
+        key = plan_cache_key(
+            (self._n_attributes, self._domain_size, self._n_reports), queries)
+        compiled = self._typed_plan_cache.get(key)
+        if compiled is None:
             plan = self.query_planner().plan(
                 queries, capabilities=self.query_capabilities)
-            self._typed_plan_cache[key] = plan
-            while len(self._typed_plan_cache) > self._PLAN_CACHE_ENTRIES:
-                self._typed_plan_cache.popitem(last=False)
-        else:
-            self._typed_plan_cache.move_to_end(key)
-        return plan
+            assert self._domain_size is not None
+            compiled = CompiledPlan.from_plan(plan, self._domain_size,
+                                              population=self._n_reports)
+            self._typed_plan_cache.put(key, compiled)
+        return compiled
+
+    def plan_cache_stats(self) -> dict:
+        """Hit/miss/eviction counters of the compiled-plan cache."""
+        return self._typed_plan_cache.stats()
+
+    def _answer_compiled(self, compiled: CompiledPlan) -> np.ndarray:
+        """Answer a compiled plan's primitives as one flat vector.
+
+        The default replays the plan's primitive list through the
+        ordinary (batch or legacy) range path — correct for every
+        mechanism, and still cheaper than the interpreted typed path
+        because the flat list is materialised once at compile time.
+        :class:`~repro.core.query_estimation.PairwiseBatchAnswering`
+        overrides this with the fused grouped execution.
+        """
+        return self._answer_ranges(compiled.flat_ranges)
 
     def _answer_ranges(self, queries: list[RangeQuery]) -> np.ndarray:
         """Validated range primitives through the batch or legacy path."""

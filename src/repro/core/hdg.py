@@ -489,6 +489,24 @@ class HDG(PairwiseBatchAnswering, RangeQueryMechanism):
         return self._grid_interval_pairs_batched(entries, self.grids_2d,
                                                  self._response_index)
 
+    _supports_fused_plans = True
+
+    def _fused_pair_ranges(self, key, row_lows, row_highs, col_lows,
+                           col_highs) -> np.ndarray:
+        """One pair grid's corner lookups for a compiled pair group."""
+        grid = self.grids_2d.get(key)
+        if grid is None:
+            key = (key[1], key[0])
+            grid = self.grids_2d[key]
+            row_lows, row_highs, col_lows, col_highs = \
+                col_lows, col_highs, row_lows, row_highs
+        return grid.answer_ranges(row_lows, row_highs, col_lows, col_highs,
+                                  response_index=self._response_index(key))
+
+    def _fused_attribute_ranges(self, attribute, lows, highs) -> np.ndarray:
+        """1-D group: vectorised lookups on the fine-grained 1-D grid."""
+        return self.grids_1d[attribute].answer_ranges(lows, highs)
+
     def _answer_singles_batched(self, queries: list[RangeQuery]) -> np.ndarray:
         """Batch 1-D answers from the fine-grained 1-D grids."""
         answers = np.empty(len(queries))

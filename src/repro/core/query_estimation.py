@@ -158,6 +158,12 @@ class PairwiseBatchAnswering:
     estimation_method: str = "weighted_update"
     #: Iteration cap for Algorithm 2; set by the mechanism constructor.
     estimation_iterations: int = 100
+    #: Whether the mechanism implements the fused compiled-plan hooks
+    #: (:meth:`_fused_attribute_ranges` / :meth:`_fused_pair_ranges`).
+    #: Grid mechanisms (TDG, HDG) turn this on; mechanisms with their
+    #: own batch layout (LHIO's hierarchy gathers) leave it off and the
+    #: compiled path falls back to their existing batch engine.
+    _supports_fused_plans: bool = False
 
     def _answer_pairs_batched(self, queries: list[RangeQuery]) -> np.ndarray:
         """Batch 2-D answers; defaults to the interval-tuple entry point."""
@@ -210,6 +216,67 @@ class PairwiseBatchAnswering:
             answers[positions] = grids[key].answer_ranges(
                 rows[:, 0], rows[:, 1], cols[:, 0], cols[:, 1],
                 response_index=response_index_for(key))
+        return answers
+
+    # ------------------------------------------------------------------
+    # Fused compiled-plan execution
+    # ------------------------------------------------------------------
+    def _fused_attribute_ranges(self, attribute: int, lows: np.ndarray,
+                                highs: np.ndarray) -> np.ndarray:
+        """Vectorised answers for one attribute's 1-D endpoint arrays."""
+        raise NotImplementedError
+
+    def _fused_pair_ranges(self, key: tuple[int, int], row_lows: np.ndarray,
+                           row_highs: np.ndarray, col_lows: np.ndarray,
+                           col_highs: np.ndarray) -> np.ndarray:
+        """Vectorised answers for one attribute pair's 2-D endpoint arrays."""
+        raise NotImplementedError
+
+    def _answer_compiled(self, compiled) -> np.ndarray:
+        """Execute a compiled plan through the fused grouped gathers.
+
+        The per-call interpretation the plain batch path pays —
+        re-partitioning primitives by dimension, regrouping by grid,
+        rebuilding interval tuples — was done once at compile time;
+        answering is one vectorised lookup per (attribute or pair)
+        group plus one batched Algorithm-2 iteration per distinct λ.
+        Every group calls the same kernels in the same grouping the
+        interpreted path uses, so answers are bitwise identical.
+
+        Falls back to the uncompiled path for mechanisms without fused
+        hooks, under ``use_legacy_answering``, and for non-default λ > 2
+        combiners (max entropy runs per query).
+        """
+        if (not self._supports_fused_plans or self.use_legacy_answering
+                or (compiled.multi_dim_groups
+                    and self.estimation_method != "weighted_update")):
+            return super()._answer_compiled(compiled)
+        answers = np.empty(compiled.n_primitives)
+        for group in compiled.single_groups:
+            answers[group.positions] = self._fused_attribute_ranges(
+                group.attribute, group.lows, group.highs)
+        for group in compiled.pair_groups:
+            answers[group.positions] = self._fused_pair_ranges(
+                group.key, group.row_lows, group.row_highs, group.col_lows,
+                group.col_highs)
+        if compiled.n_sub_entries:
+            sub_answers = np.empty(compiled.n_sub_entries)
+            for group in compiled.multi_pair_groups:
+                sub_answers[group.positions] = self._fused_pair_ranges(
+                    group.key, group.row_lows, group.row_highs, group.col_lows,
+                    group.col_highs)
+            for group in compiled.multi_dim_groups:
+                # Same targets layout as estimate_lambda_queries_batched:
+                # clipped pair answers plus the simplex normalisation to 1.
+                targets = np.ones((group.positions.size,
+                                   len(group.index_sets)))
+                targets[:, :-1] = np.maximum(
+                    0.0, sub_answers[group.sub_index_matrix])
+                estimates = weighted_update_batch(
+                    1 << group.dimension, group.index_sets, targets,
+                    max_iterations=self.estimation_iterations)
+                answers[group.positions] = \
+                    estimates[:, (1 << group.dimension) - 1]
         return answers
 
     def _answer_workload(self, queries: list[RangeQuery]) -> np.ndarray:

@@ -301,6 +301,26 @@ class TDG(PairwiseBatchAnswering, RangeQueryMechanism):
         return self._grid_interval_pairs_batched(entries, self.grids,
                                                  lambda key: None)
 
+    _supports_fused_plans = True
+
+    def _fused_pair_ranges(self, key, row_lows, row_highs, col_lows,
+                           col_highs) -> np.ndarray:
+        """One grid's corner lookups for a compiled pair group."""
+        grid = self.grids.get(key)
+        if grid is None:
+            grid = self.grids[(key[1], key[0])]
+            row_lows, row_highs, col_lows, col_highs = \
+                col_lows, col_highs, row_lows, row_highs
+        return grid.answer_ranges(row_lows, row_highs, col_lows, col_highs)
+
+    def _fused_attribute_ranges(self, attribute, lows, highs) -> np.ndarray:
+        """1-D group: marginalise a grid containing the attribute."""
+        other = 0 if attribute != 0 else 1
+        full_lows = np.zeros_like(lows)
+        full_highs = np.full_like(lows, self._domain_size - 1)
+        return self._fused_pair_ranges((attribute, other), lows, highs,
+                                       full_lows, full_highs)
+
     def _answer_singles_batched(self, queries: list[RangeQuery]) -> np.ndarray:
         """Batch 1-D answers (TDG marginalises a 2-D grid; HDG overrides)."""
         c = self._domain_size

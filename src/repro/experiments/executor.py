@@ -11,12 +11,15 @@ configuration seed alone:
 
 No cell reads another cell's RNG stream, so executing them on a process
 pool in any order reproduces the sequential loop bit-for-bit.  The
-executor schedules pending cells over ``n_jobs`` worker processes,
-shipping only the (small) configuration dataclass to each worker —
-datasets and workloads are rebuilt worker-side from their seeds and
-memoized per worker (:mod:`repro.experiments.cache`), so no
-multi-megabyte arrays cross the process boundary in either direction;
-a finished cell returns one float and one ``n_queries``-length error
+executor partitions pending cells into one contiguous chunk per worker
+process and ships each chunk as a single task, so every worker is
+dispatched exactly once — per-cell pickling round-trips and task
+hand-off latency no longer dominate small sweeps.  Only the (small)
+configuration dataclasses cross the boundary — datasets and workloads
+are rebuilt worker-side from their seeds and memoized per worker
+(:mod:`repro.experiments.cache`), which chunking exploits: contiguous
+cells of one repetition share a worker and hit its warm memos; a
+finished cell returns one float and one ``n_queries``-length error
 vector.
 
 With a :class:`~repro.experiments.cache.ResultCache`, completed cells
@@ -29,6 +32,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import json
+import os
 import pickle
 import warnings
 from dataclasses import dataclass
@@ -150,12 +154,49 @@ def _evaluate_cell_task(payload: tuple) -> tuple[int, CellResult]:
     return task_index, result
 
 
+def _evaluate_cell_chunk(payload: tuple) -> list[tuple[int, CellResult]]:
+    """Worker-side chunk entry point; must stay module-level for pickling.
+
+    Evaluates a whole contiguous slice of the pending list in order, so
+    one warm worker process (and its per-process memos) serves every
+    cell of the chunk.
+    """
+    tasks, workload_factory = payload
+    return [_evaluate_cell_task((*task, workload_factory)) for task in tasks]
+
+
+def chunk_indices(n_tasks: int, n_chunks: int) -> list[range]:
+    """Partition ``range(n_tasks)`` into ``n_chunks`` contiguous,
+    near-equal ranges (earlier chunks take the remainder).
+
+    Contiguity is the point: the pending list is repeat-major, so a
+    contiguous chunk keeps one repetition's cells on one worker, where
+    the dataset/workload memos are already warm.
+    """
+    if n_tasks < 0:
+        raise ValueError("n_tasks must be >= 0")
+    n_chunks = max(1, min(int(n_chunks), n_tasks))
+    base, extra = divmod(n_tasks, n_chunks)
+    chunks: list[range] = []
+    start = 0
+    for index in range(n_chunks):
+        size = base + (1 if index < extra else 0)
+        chunks.append(range(start, start + size))
+        start += size
+    return chunks
+
+
 def _is_picklable(value: Any) -> bool:
     try:
         pickle.dumps(value)
     except Exception:
         return False
     return True
+
+
+def _available_cpus() -> int:
+    """Physical parallelism available to worker processes (test seam)."""
+    return os.cpu_count() or 1
 
 
 def resolve_n_jobs(configs: list[ExperimentConfig],
@@ -191,6 +232,11 @@ def execute_grid(configs: list[ExperimentConfig],
     n_jobs:
         Worker-process count; defaults to the first config's ``n_jobs``
         field.  ``1`` runs every cell in-process in deterministic order.
+        Requests beyond the machine's core count are capped — forked
+        workers that cannot run concurrently only add start-up and
+        context-switch overhead (the source of the old negative
+        scaling on small machines); a request that caps to one worker
+        takes the in-process path outright, skipping the fork.
 
     Returns
     -------
@@ -243,7 +289,8 @@ def execute_grid(configs: list[ExperimentConfig],
             cache.store(cell_key(configs[cell.config_index], cell.repeat,
                                  cell.method), result)
 
-    if jobs == 1 or len(pending) <= 1:
+    effective_jobs = min(jobs, len(pending), _available_cpus())
+    if effective_jobs <= 1:
         # Build factory workloads (and their exact answers) once per
         # (config, repetition), like the original sequential loop did.
         factory_inputs: dict[tuple[int, int], tuple[list, np.ndarray]] = {}
@@ -263,13 +310,24 @@ def execute_grid(configs: list[ExperimentConfig],
                                        workload_factory=workload_factory,
                                        queries=queries, truths=truths))
     else:
-        payloads = [(task_index, configs[cell.config_index], cell.repeat,
-                     cell.position, cell.method, workload_factory)
-                    for task_index, cell in enumerate(pending)]
+        # One contiguous chunk per worker: each worker process receives
+        # exactly one task covering its whole share of the pending list,
+        # so dispatch/pickle overhead is paid per worker, not per cell.
+        # Results land (and persist to the cache) as whole chunks
+        # finish.
+        chunks = chunk_indices(len(pending), effective_jobs)
+        payloads = [([(task_index, configs[pending[task_index].config_index],
+                       pending[task_index].repeat,
+                       pending[task_index].position,
+                       pending[task_index].method)
+                      for task_index in chunk],
+                     workload_factory)
+                    for chunk in chunks]
         with concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(jobs, len(pending))) as pool:
-            for task_index, result in pool.map(_evaluate_cell_task, payloads):
-                record(pending[task_index], result)
+                max_workers=len(payloads)) as pool:
+            for chunk_results in pool.map(_evaluate_cell_chunk, payloads):
+                for task_index, result in chunk_results:
+                    record(pending[task_index], result)
 
     grouped: list[dict[tuple[int, str], CellResult]] = [{} for _ in configs]
     for cell, result in outcomes.items():

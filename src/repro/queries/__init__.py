@@ -12,12 +12,19 @@ The package is the logical query layer of the library:
     :class:`QueryPlanner`, which lowers every IR kind onto range
     primitives so all mechanisms answer mixed workloads through one
     stack.
+:mod:`repro.queries.compiler`
+    :class:`CompiledPlan` and :class:`PlanCache` — a lowered plan
+    frozen into fused NumPy index arrays (grouped gathers in, one
+    vectorised reassembly out) and the bounded LRU that reuses
+    compiled plans across requests.
 :mod:`repro.queries.workload`
     Random/exhaustive/mixed workload generation.
 :mod:`repro.queries.ground_truth`
     Exact (non-private) answers used as the evaluation baseline.
 """
 
+from .compiler import (CompiledPlan, PlanCache, plan_cache_key,
+                       workload_fingerprint)
 from .ground_truth import (answer_query, answer_query_from_joint,
                            answer_workload, evaluate_query, evaluate_workload)
 from .ir import (QUERY_KINDS, DistributionResult, MarginalQuery, PointQuery,
@@ -30,9 +37,11 @@ from .workload import WorkloadGenerator
 
 __all__ = [
     "ALL_QUERY_KINDS",
+    "CompiledPlan",
     "DistributionResult",
     "LoweredQuery",
     "MarginalQuery",
+    "PlanCache",
     "PointQuery",
     "Predicate",
     "PredicateCountQuery",
@@ -51,7 +60,9 @@ __all__ = [
     "answer_workload",
     "evaluate_query",
     "evaluate_workload",
+    "plan_cache_key",
     "query_kind",
     "top_k_cells",
     "validate_query_kinds",
+    "workload_fingerprint",
 ]

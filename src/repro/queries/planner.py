@@ -25,6 +25,15 @@ answer every query type through one answering stack, and the batch
 engine's grouping (by dimension, by grid) applies unchanged — a 2-D
 marginal's ``c²`` cells become one grouped, vectorised corner-lookup
 batch.
+
+The serving hot path does not interpret a :class:`QueryPlan` per
+request: :mod:`repro.queries.compiler` lowers a plan once into fused
+NumPy index arrays (:class:`~repro.queries.compiler.CompiledPlan`) and
+caches the result across requests in a bounded LRU
+(:class:`~repro.queries.compiler.PlanCache`).  The planner remains the
+validation and lowering authority; the compiler is a faster executor of
+the exact same lowering, and ``tests/test_plan_compiler.py`` pins the
+two paths to bitwise-identical answers.
 """
 
 from __future__ import annotations

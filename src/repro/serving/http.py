@@ -1,26 +1,33 @@
 """Stdlib HTTP front-end for :class:`~repro.serving.QueryService`.
 
-The API is a small JSON-over-HTTP surface on
-:class:`http.server.ThreadingHTTPServer` — no third-party dependencies,
-one thread per request, the service's internal lock serializing state
-changes:
+The API is a small JSON-over-HTTP surface on a worker-pool server — no
+third-party dependencies.  Connections are accepted on the listener
+thread and handed to a bounded :class:`~concurrent.futures.
+ThreadPoolExecutor`, each worker serving its connection's requests
+(HTTP/1.1 keep-alive) with the service's internal lock serializing
+state changes:
 
 =======  =============  ====================================================
 Method   Path           Meaning
 =======  =============  ====================================================
 GET      ``/healthz``   Service status document + package version
 POST     ``/ingest``    ``{"rows": [[...], ...], "domain_size"?: c}``
-POST     ``/query``     ``{"queries": [...]}`` — typed wire queries (range,
-                        marginal, point, count, topk; see
-                        :func:`repro.serving.query_from_wire`)
+POST     ``/query``     ``{"queries": [...]}`` — one typed wire workload —
+                        or ``{"workloads": [[...], ...]}`` — a batch of
+                        workloads answered under one lock acquisition (see
+                        :meth:`~repro.serving.QueryService.query_wire_batch`)
 POST     ``/refinalize``  Force a re-finalize of the pending reports
 POST     ``/snapshot``  Write a snapshot version (requires a store)
 GET      ``/snapshot``  List stored snapshot versions
 =======  =============  ====================================================
 
-Errors return ``{"error": msg}``: 400 for malformed payloads, 404 for
-unknown paths, 409 for operations the service cannot perform in its
-current state (not ready, static mode, no snapshot store).
+Errors return a structured body ``{"error": msg, "code": code}``:
+400 ``bad-request`` for malformed payloads (including bodies that are
+not valid JSON and unknown query ``"type"`` values), 404 ``not-found``
+for unknown paths, 409 ``conflict`` for operations the service cannot
+perform in its current state (not ready, static mode, no snapshot
+store), and 500 ``internal`` for unexpected failures — never a raw
+traceback on the wire.
 
 Build a bound server with :func:`build_server` (``port=0`` picks a free
 port — the tests and the in-process quickstart rely on that) and run it
@@ -32,7 +39,8 @@ curl transcript.
 from __future__ import annotations
 
 import json
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from concurrent.futures import ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, HTTPServer
 
 from .._version import package_version
 from .service import QueryService, ServiceError
@@ -41,19 +49,46 @@ from .snapshot import SnapshotStore
 __all__ = ["ServingHTTPServer", "ServingRequestHandler", "build_server",
            "serve"]
 
+#: Default size of the request worker pool.
+DEFAULT_WORKERS = 8
 
-class ServingHTTPServer(ThreadingHTTPServer):
-    """Threaded HTTP server that waits for in-flight handlers on close.
 
-    ``ThreadingHTTPServer`` runs handlers on daemon threads and does
-    not join them in ``server_close``; a bounded ``repro serve
-    --max-requests`` run would then exit mid-response.  Non-daemon
-    threads make ``server_close()`` block until every started response
-    has been written (connections are per-request, so handlers finish
-    promptly).
+class ServingHTTPServer(HTTPServer):
+    """HTTP server dispatching connections onto a bounded worker pool.
+
+    ``ThreadingHTTPServer`` spawns an unbounded thread per connection
+    and (with daemon threads) may exit mid-response; with non-daemon
+    threads every connection still pays thread start-up on the accept
+    path.  This server keeps a fixed pool of warm workers instead: the
+    listener thread only accepts and enqueues, a worker owns the
+    connection for its whole keep-alive lifetime, and
+    ``server_close()`` drains the pool so every started response is
+    written before shutdown completes.
     """
 
-    daemon_threads = False
+    def __init__(self, server_address, RequestHandlerClass,
+                 workers: int = DEFAULT_WORKERS):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="serving-worker")
+        super().__init__(server_address, RequestHandlerClass)
+
+    def process_request(self, request, client_address) -> None:
+        self._pool.submit(self._process_in_worker, request, client_address)
+
+    def _process_in_worker(self, request, client_address) -> None:
+        try:
+            self.finish_request(request, client_address)
+        except Exception:
+            self.handle_error(request, client_address)
+        finally:
+            self.shutdown_request(request)
+
+    def server_close(self) -> None:
+        super().server_close()
+        self._pool.shutdown(wait=True)
 
 
 class ServingRequestHandler(BaseHTTPRequestHandler):
@@ -68,6 +103,16 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
     verbose: bool = False
 
     server_version = "repro-serving/1.0"
+    #: HTTP/1.1 keeps connections alive across requests, so a client
+    #: posting a stream of workloads pays the TCP/accept cost once.
+    protocol_version = "HTTP/1.1"
+    #: Socket timeout: an idle keep-alive connection releases its pool
+    #: worker after this many seconds instead of pinning it forever.
+    timeout = 5.0
+    #: TCP_NODELAY: a response is written as two small sends (headers,
+    #: body); with Nagle on, the second waits for the client's delayed
+    #: ACK — a ~40 ms stall per keep-alive request.
+    disable_nagle_algorithm = True
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -84,11 +129,22 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_error_json(self, status: int, code: str, message: str) -> None:
+        """Structured error body: ``error`` stays a plain string (the
+        stable field clients match on), ``code`` is the machine tag."""
+        self._send_json(status, {"error": message, "code": code})
+
     def _read_json(self) -> dict:
+        """The request body as a JSON object.
+
+        Always consumes the full ``Content-Length`` before raising, so
+        a malformed body never desynchronizes a keep-alive connection.
+        """
         length = int(self.headers.get("Content-Length") or 0)
-        if length == 0:
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
             return {}
-        document = json.loads(self.rfile.read(length))
+        document = json.loads(raw)
         if not isinstance(document, dict):
             raise ValueError("request body must be a JSON object")
         return document
@@ -98,34 +154,49 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         """Read-only routes: ``/healthz`` and the snapshot listing."""
-        if self.path == "/healthz":
-            self._send_json(200, {"status": "ok",
-                                  "version": package_version(),
-                                  **self.service.status()})
-        elif self.path == "/snapshot":
-            if self.snapshot_store is None:
-                self._send_json(409, {"error": "no snapshot store configured "
-                                               "(start with --snapshot-dir)"})
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, {"status": "ok",
+                                      "version": package_version(),
+                                      **self.service.status()})
+            elif self.path == "/snapshot":
+                if self.snapshot_store is None:
+                    self._send_error_json(
+                        409, "conflict", "no snapshot store configured "
+                        "(start with --snapshot-dir)")
+                else:
+                    self._send_json(200, {
+                        "directory": str(self.snapshot_store.directory),
+                        "versions": self.snapshot_store.versions(),
+                        "latest": self.snapshot_store.latest_version(),
+                    })
             else:
-                self._send_json(200, {
-                    "directory": str(self.snapshot_store.directory),
-                    "versions": self.snapshot_store.versions(),
-                    "latest": self.snapshot_store.latest_version(),
-                })
-        else:
-            self._send_json(404, {"error": f"unknown path {self.path}"})
+                self._send_error_json(404, "not-found",
+                                      f"unknown path {self.path}")
+        except Exception as error:  # pragma: no cover - defensive
+            self._send_error_json(500, "internal",
+                                  f"internal error: "
+                                  f"{type(error).__name__}: {error}")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         """State-changing routes: ingest, query, refinalize, snapshot."""
+        # Read (and fully consume) the body before routing: a parse
+        # failure must still leave the connection aligned on the next
+        # request boundary, and must answer 400, not tear down the
+        # connection with a traceback.
+        try:
+            payload = self._read_json()
+        except ValueError as error:
+            self._send_error_json(400, "bad-request",
+                                  f"bad request: invalid JSON body ({error})")
+            return
         try:
             if self.path == "/ingest":
-                payload = self._read_json()
                 receipt = self.service.ingest(payload["rows"],
                                               payload.get("domain_size"))
                 self._send_json(200, receipt)
             elif self.path == "/query":
-                payload = self._read_json()
-                self._send_json(200, self.service.query_wire(payload["queries"]))
+                self._send_json(200, self._answer_query(payload))
             elif self.path == "/refinalize":
                 self._send_json(200, self.service.refinalize())
             elif self.path == "/snapshot":
@@ -136,35 +207,55 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(200, {"version": info.version,
                                       "path": str(info.path)})
             else:
-                self._send_json(404, {"error": f"unknown path {self.path}"})
+                self._send_error_json(404, "not-found",
+                                      f"unknown path {self.path}")
         except ServiceError as error:
-            self._send_json(409, {"error": str(error)})
+            self._send_error_json(409, "conflict", str(error))
         except (KeyError, ValueError, TypeError) as error:
-            self._send_json(400, {"error": f"bad request: {error}"})
+            self._send_error_json(400, "bad-request",
+                                  f"bad request: {error}")
+        except Exception as error:
+            self._send_error_json(500, "internal",
+                                  f"internal error: "
+                                  f"{type(error).__name__}: {error}")
+
+    def _answer_query(self, payload: dict) -> dict:
+        """Dispatch ``/query``: one workload or a batch of workloads."""
+        if "workloads" in payload:
+            if "queries" in payload:
+                raise ValueError(
+                    "pass either 'queries' or 'workloads', not both")
+            return self.service.query_wire_batch(payload["workloads"])
+        if "queries" not in payload:
+            raise ValueError("payload needs 'queries' (one workload) or "
+                             "'workloads' (a batch of workloads)")
+        return self.service.query_wire(payload["queries"])
 
 
 def build_server(service: QueryService, host: str = "127.0.0.1",
                  port: int = 0, snapshot_store: SnapshotStore | None = None,
-                 verbose: bool = False) -> ThreadingHTTPServer:
-    """A bound (not yet running) threaded HTTP server over ``service``.
+                 verbose: bool = False,
+                 workers: int = DEFAULT_WORKERS) -> ServingHTTPServer:
+    """A bound (not yet running) worker-pool HTTP server over ``service``.
 
     ``port=0`` binds any free port; read the result from
-    ``server.server_address``.
+    ``server.server_address``.  ``workers`` sizes the request pool —
+    each worker owns one keep-alive connection at a time.
     """
     handler = type("BoundServingRequestHandler", (ServingRequestHandler,),
                    {"service": service, "snapshot_store": snapshot_store,
                     "verbose": verbose})
-    return ServingHTTPServer((host, port), handler)
+    return ServingHTTPServer((host, port), handler, workers=workers)
 
 
-def serve(server: ThreadingHTTPServer,
+def serve(server: ServingHTTPServer,
           max_requests: int | None = None) -> None:
-    """Run the accept loop: forever, or for ``max_requests`` requests.
+    """Run the accept loop: forever, or for ``max_requests`` connections.
 
     The bounded form exists for smoke tests and scripted ops checks
     (``repro serve --max-requests N``); callers still own
-    ``server.server_close()``, which waits for in-flight handler
-    threads.
+    ``server.server_close()``, which drains the worker pool so every
+    accepted connection finishes its responses.
     """
     if max_requests is None:
         server.serve_forever()

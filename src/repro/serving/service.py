@@ -24,8 +24,12 @@ not-yet-finalized reports.  :class:`~repro.serving.SnapshotStore`
 versions those documents on disk.
 
 All entry points are thread-safe (one re-entrant lock), which is what
-the :mod:`repro.serving.http` front-end relies on under
-``ThreadingHTTPServer``.
+the :mod:`repro.serving.http` front-end's worker pool relies on.  The
+answering hot path routes through the mechanisms' compiled-plan cache
+(:mod:`repro.queries.compiler`), so repeated workloads skip planning
+entirely; :meth:`QueryService.query_wire_batch` answers a whole batch
+of workloads under one lock acquisition for the batched ``/query``
+wire form.
 """
 
 from __future__ import annotations
@@ -145,6 +149,15 @@ def query_to_wire(query: Query) -> dict:
                     f"({query_kind(query)})")
 
 
+def _results_document(results: list[QueryResult]) -> dict:
+    """The wire document for one answered workload (see ``query_wire``)."""
+    document = {"count": len(results),
+                "results": [result.to_wire() for result in results]}
+    if all(isinstance(result, ScalarResult) for result in results):
+        document["answers"] = [float(result.value) for result in results]
+    return document
+
+
 class QueryService:
     """Ingest-and-answer front-end over one mechanism.
 
@@ -252,6 +265,8 @@ class QueryService:
                 "refinalize_every": self.refinalize_every,
                 "n_attributes": reference._n_attributes,
                 "domain_size": reference._domain_size,
+                "plan_cache": (self._estimator.plan_cache_stats()
+                               if self._estimator is not None else None),
             }
 
     # ------------------------------------------------------------------
@@ -376,12 +391,30 @@ class QueryService:
         it additionally carries the flat ``answers`` float list the
         pre-IR API served.
         """
-        results = self.query_typed(queries_from_wire(objs))
-        document = {"count": len(results),
-                    "results": [result.to_wire() for result in results]}
-        if all(isinstance(result, ScalarResult) for result in results):
-            document["answers"] = [float(result.value) for result in results]
-        return document
+        return _results_document(self.query_typed(queries_from_wire(objs)))
+
+    def query_wire_batch(self, workloads) -> dict:
+        """Answer a batch of JSON-wire workloads in one call.
+
+        ``workloads`` is a list of wire workloads (each a list of wire
+        queries, exactly what :meth:`query_wire` accepts).  Every
+        workload is parsed *before* any answering happens — a malformed
+        entry fails the whole batch without partial effects — and all
+        workloads are then answered under a single lock acquisition, so
+        a batch observes one consistent estimator even while re-finalize
+        swaps are landing.  Returns ``{"count": total_queries,
+        "workloads": [per-workload documents]}`` where each per-workload
+        document has the :meth:`query_wire` shape.
+        """
+        if not isinstance(workloads, (list, tuple)):
+            raise ValueError("workloads must be a JSON list of query lists")
+        parsed = [queries_from_wire(objs) for objs in workloads]
+        with self._lock:
+            estimator = self._require_estimator()
+            answered = [estimator.answer_typed(queries) for queries in parsed]
+        documents = [_results_document(results) for results in answered]
+        return {"count": sum(document["count"] for document in documents),
+                "workloads": documents}
 
     # ------------------------------------------------------------------
     # Snapshot / restore

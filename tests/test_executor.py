@@ -10,6 +10,7 @@ import pytest
 from repro.experiments import (ExperimentConfig, ResultCache, cell_key,
                                run_experiment, sweep_parameter)
 from repro.experiments import cache as cache_module
+from repro.experiments.executor import chunk_indices
 from repro.queries import WorkloadGenerator
 
 CONFIG = ExperimentConfig(dataset="normal", n_users=4_000, n_attributes=3,
@@ -60,6 +61,57 @@ def test_sweep_parallel_equals_sequential(n_jobs):
     assert sequential.series() == parallel.series()
     for left, right in zip(sequential.results, parallel.results):
         assert_results_identical(left, right)
+
+
+@pytest.mark.parametrize("n_tasks,n_chunks", [
+    (0, 4), (1, 4), (5, 1), (6, 2), (7, 3), (12, 4), (3, 8),
+])
+def test_chunk_indices_partition_exactly(n_tasks, n_chunks):
+    chunks = chunk_indices(n_tasks, n_chunks)
+    # Contiguous, disjoint, covering: concatenation is range(n_tasks).
+    flattened = [index for chunk in chunks for index in chunk]
+    assert flattened == list(range(n_tasks))
+    assert len(chunks) == max(1, min(n_chunks, n_tasks))
+    sizes = [len(chunk) for chunk in chunks]
+    assert max(sizes) - min(sizes) <= 1  # near-equal shares
+
+
+def test_chunked_parallel_equals_sequential_with_cache(tmp_path, monkeypatch):
+    # The chunked dispatch path (one task per worker) must land the
+    # exact cells the sequential loop produces, and persist every one.
+    # Force the pool path regardless of the test machine's core count.
+    from repro.experiments import executor as executor_module
+
+    monkeypatch.setattr(executor_module, "_available_cpus", lambda: 4)
+    sequential = run_experiment(CONFIG)
+    cache = ResultCache(tmp_path)
+    chunked = run_experiment(CONFIG.with_overrides(n_jobs=4), cache=cache)
+    assert_results_identical(sequential, chunked)
+    expected_cells = CONFIG.n_repeats * len(CONFIG.methods)
+    assert cache.misses == expected_cells
+    assert len(cache) == expected_cells
+    # Resuming from the chunk-populated cache is hit-only and bit-equal.
+    resumed_cache = ResultCache(tmp_path)
+    resumed = run_experiment(CONFIG, cache=resumed_cache)
+    assert resumed_cache.hits == expected_cells
+    assert resumed_cache.misses == 0
+    assert_results_identical(sequential, resumed)
+
+
+def test_worker_request_beyond_cores_runs_in_process(monkeypatch):
+    # On a single-core machine extra forked workers only add overhead,
+    # so n_jobs=4 must cap to the in-process path — bit-identically.
+    from repro.experiments import executor as executor_module
+
+    monkeypatch.setattr(executor_module, "_available_cpus", lambda: 1)
+
+    def no_pool(*args, **kwargs):
+        raise AssertionError("capped request must not fork a process pool")
+
+    monkeypatch.setattr(executor_module.concurrent.futures,
+                        "ProcessPoolExecutor", no_pool)
+    capped = run_experiment(CONFIG.with_overrides(n_jobs=4))
+    assert_results_identical(run_experiment(CONFIG), capped)
 
 
 def test_parallel_with_picklable_workload_factory():

@@ -387,6 +387,152 @@ def test_http_error_statuses(http_service):
     assert code == 400
 
 
+def test_http_batched_workloads_match_single_requests(http_service,
+                                                      mixed_workload):
+    service, port = http_service
+    generator = WorkloadGenerator(3, 16, rng=np.random.default_rng(77))
+    first = [query_to_wire(query) for query in mixed_workload]
+    second = [query_to_wire(query)
+              for query in generator.mixed_workload(7, 2, 0.5)]
+
+    batched = _http(port, "/query", {"workloads": [first, second]})
+    singles = [_http(port, "/query", {"queries": wire})
+               for wire in (first, second)]
+    assert batched["count"] == len(first) + len(second)
+    assert batched["workloads"] == singles
+
+
+def test_http_batched_workloads_reject_bad_shapes(http_service):
+    _, port = http_service
+    code, body = _http_error(port, "/query",
+                             {"workloads": [[[0, 0, 1]]],
+                              "queries": [[[0, 0, 1]]]})
+    assert code == 400 and "not both" in body["error"]
+    assert body["code"] == "bad-request"
+    code, body = _http_error(port, "/query", {"workloads": "nope"})
+    assert code == 400 and "list of query lists" in body["error"]
+    code, body = _http_error(port, "/query", {})
+    assert code == 400 and "'queries'" in body["error"]
+
+
+def test_http_malformed_json_is_400_not_500(http_service):
+    """Regression: a non-JSON body used to escape as a 500/traceback."""
+    _, port = http_service
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/query", data=b"{not json",
+        headers={"Content-Type": "application/json"})
+    try:
+        urllib.request.urlopen(request, timeout=10)
+    except urllib.error.HTTPError as error:
+        body = json.loads(error.read())
+        assert error.code == 400
+        assert "invalid JSON body" in body["error"]
+        assert body["code"] == "bad-request"
+    else:
+        raise AssertionError("expected HTTP 400")
+    # A JSON body that is not an object gets the same treatment.
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/query", data=b"[1, 2]",
+        headers={"Content-Type": "application/json"})
+    try:
+        urllib.request.urlopen(request, timeout=10)
+    except urllib.error.HTTPError as error:
+        body = json.loads(error.read())
+        assert error.code == 400 and body["code"] == "bad-request"
+        assert "must be a JSON object" in body["error"]
+    else:
+        raise AssertionError("expected HTTP 400")
+
+
+def test_http_unknown_query_type_is_400_with_structured_body(http_service):
+    """Regression: an unknown query "type" must be a structured 400."""
+    _, port = http_service
+    code, body = _http_error(
+        port, "/query", {"queries": [{"type": "frobnicate"}]})
+    assert code == 400
+    assert "unknown query type" in body["error"]
+    assert body["code"] == "bad-request"
+
+
+def test_http_error_bodies_carry_machine_codes(http_service):
+    _, port = http_service
+    code, body = _http_error(port, "/nope", {})
+    assert code == 404 and body["code"] == "not-found"
+    code, body = _http_error(port, "/query",
+                             {"queries": [{"type": "frobnicate"}]})
+    assert code == 400 and body["code"] == "bad-request"
+
+
+def test_http_healthz_reports_plan_cache(http_service, mixed_workload):
+    service, port = http_service
+    _http(port, "/query",
+          {"queries": [query_to_wire(query) for query in mixed_workload]})
+    cache = _http(port, "/healthz")["plan_cache"]
+    assert cache["capacity"] >= 1
+    assert cache["hits"] + cache["misses"] >= 1
+
+
+def test_http_keep_alive_serves_many_requests_per_connection(http_service,
+                                                             mixed_workload):
+    import http.client
+
+    service, port = http_service
+    wire = [query_to_wire(query) for query in mixed_workload]
+    expected = service.query_wire(wire)
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        for _ in range(3):
+            connection.request("POST", "/query",
+                               body=json.dumps({"queries": wire}),
+                               headers={"Content-Type": "application/json"})
+            response = connection.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read()) == json.loads(
+                json.dumps(expected))
+    finally:
+        connection.close()
+
+
+def test_http_concurrent_queries_no_cross_request_bleed(http_service):
+    service, port = http_service
+    generator = WorkloadGenerator(3, 16, rng=np.random.default_rng(123))
+    workloads = [[query_to_wire(query)
+                  for query in generator.mixed_workload(5, 2, 0.5)]
+                 for _ in range(4)]
+    expected = [service.query_wire(wire) for wire in workloads]
+    failures: list[str] = []
+    barrier = threading.Barrier(8)
+
+    def worker(index: int) -> None:
+        wire = workloads[index % len(workloads)]
+        reference = expected[index % len(workloads)]
+        barrier.wait()
+        for _ in range(4):
+            answered = _http(port, "/query", {"queries": wire})
+            if answered != json.loads(json.dumps(reference)):
+                failures.append(f"thread {index} got a foreign answer")
+                return
+
+    threads = [threading.Thread(target=worker, args=(index,))
+               for index in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not failures, failures[0]
+
+
+def test_build_server_workers_argument(serving_dataset):
+    service = QueryService("TDG", 1.0, seed=9, domain_size=16)
+    with pytest.raises(ValueError, match="workers"):
+        build_server(service, port=0, workers=0)
+    server = build_server(service, port=0, workers=2)
+    try:
+        assert server.workers == 2
+    finally:
+        server.server_close()
+
+
 def test_http_not_ready_is_conflict(tmp_path):
     service = QueryService("TDG", 1.0, domain_size=16)
     server = build_server(service, port=0)
@@ -396,6 +542,7 @@ def test_http_not_ready_is_conflict(tmp_path):
         port = server.server_address[1]
         code, body = _http_error(port, "/query", {"queries": [[[0, 0, 1]]]})
         assert code == 409 and "not ready" in body["error"]
+        assert body["code"] == "conflict"
         assert _http_error(port, "/snapshot", {})[0] == 409  # no store
     finally:
         server.shutdown()
