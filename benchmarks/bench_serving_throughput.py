@@ -23,10 +23,19 @@ end-to-end against a live in-process worker-pool server:
   query, the no-batching floor that the batched HTTP path is expected
   to beat.
 
+With ``--backend json|sqlite`` the server runs multi-tenant over that
+storage backend instead of a bare service: ingest then flows through
+the write-ahead ingest log (durability on the hot path), and the run
+additionally reports a **storage comparison** — snapshot save/restore
+latency and write-ahead ingest-log throughput for *both* backends side
+by side — so one trajectory row captures JSON vs SQLite.
+
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_serving_throughput.py
     PYTHONPATH=src python benchmarks/bench_serving_throughput.py --smoke
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py \\
+        --smoke --backend sqlite
 
 ``--smoke`` shrinks the load so CI exercises the whole path in a few
 seconds.  Every run appends a record to the ``BENCH_fit.json``
@@ -39,6 +48,7 @@ import argparse
 import http.client
 import json
 import sys
+import tempfile
 import threading
 import time
 import urllib.request
@@ -52,8 +62,9 @@ from _scale import append_trajectory, report  # noqa: E402
 
 from repro.datasets import make_dataset  # noqa: E402
 from repro.queries import WorkloadGenerator  # noqa: E402
-from repro.serving import (QueryService, build_server,  # noqa: E402
-                           query_to_wire)
+from repro.serving import (QueryService, TenantManager,  # noqa: E402
+                           build_server, query_to_wire)
+from repro.storage import BACKENDS, open_backend  # noqa: E402
 
 
 def _post(port: int, path: str, payload: dict) -> dict:
@@ -65,9 +76,64 @@ def _post(port: int, path: str, payload: dict) -> dict:
         return json.loads(response.read())
 
 
+def compare_storage_backends(document: dict, rows: np.ndarray,
+                             batch_size: int, domain_size: int,
+                             rounds: int) -> tuple[list[str], dict]:
+    """Save/restore/WAL-append the same state through every backend.
+
+    ``document`` is a fitted service's ``state_dict()`` so the blob is
+    realistically sized; ``rows`` feed the write-ahead ingest log in
+    ``batch_size`` slices.  Returns report lines and a per-backend dict
+    of snapshot save/restore latency and WAL append throughput.
+    """
+    lines = []
+    results = {}
+    n_batches = max(1, len(rows) // batch_size)
+    for kind in sorted(BACKENDS):
+        with tempfile.TemporaryDirectory() as tmp:
+            location = Path(tmp) / ("store.db" if kind == "sqlite"
+                                    else "store")
+            with open_backend(kind, location) as backend:
+                if not backend.has_tenant("default"):
+                    backend.create_tenant("default", {})
+                start = time.perf_counter()
+                for _ in range(rounds):
+                    record = backend.save_snapshot("default", document)
+                save_seconds = (time.perf_counter() - start) / rounds
+
+                start = time.perf_counter()
+                for _ in range(rounds):
+                    loaded, _meta = backend.load_snapshot("default")
+                    restored = QueryService.from_state_dict(loaded)
+                restore_seconds = (time.perf_counter() - start) / rounds
+                assert restored.reports_ingested == document["reports_ingested"]
+
+                batches = [
+                    rows[index * batch_size:(index + 1) * batch_size].tolist()
+                    for index in range(n_batches)]
+                start = time.perf_counter()
+                for chunk in batches:
+                    backend.append_ingest("default", chunk, domain_size)
+                wal_seconds = time.perf_counter() - start
+                wal_rate = n_batches * batch_size / wal_seconds
+
+        results[kind] = {
+            "snapshot_save_ms": round(save_seconds * 1e3, 2),
+            "snapshot_restore_ms": round(restore_seconds * 1e3, 2),
+            "snapshot_bytes": record.size_bytes,
+            "wal_append_reports_per_sec": round(wal_rate, 1),
+        }
+        lines.append(
+            f"  storage [{kind:>6}]  : save {save_seconds * 1e3:7.2f} ms  "
+            f"restore {restore_seconds * 1e3:7.2f} ms  "
+            f"({record.size_bytes} bytes)  "
+            f"wal append {wal_rate:10.1f} reports/sec")
+    return lines, results
+
+
 def run(n_batches: int, batch_size: int, n_attributes: int, domain_size: int,
         n_queries: int, query_rounds: int, epsilon: float, seed: int,
-        smoke: bool) -> tuple[str, dict]:
+        smoke: bool, backend: str | None = None) -> tuple[str, dict]:
     rng = np.random.default_rng(seed)
     total_users = n_batches * batch_size
     dataset = make_dataset("normal", total_users, n_attributes, domain_size,
@@ -78,9 +144,27 @@ def run(n_batches: int, batch_size: int, n_attributes: int, domain_size: int,
                 + generator.random_workload(n_queries - n_queries // 2, 3, 0.5))
     wire_workload = [query_to_wire(query) for query in workload]
 
-    service = QueryService("HDG", epsilon, seed=seed,
-                           domain_size=domain_size, total_users=total_users)
-    server = build_server(service, port=0)
+    stack = []
+    if backend is None:
+        service = QueryService("HDG", epsilon, seed=seed,
+                               domain_size=domain_size,
+                               total_users=total_users)
+        server = build_server(service, port=0)
+    else:
+        # Multi-tenant serving over a durable backend: every ingest
+        # batch is WAL-appended before it is applied, so the measured
+        # ingest rate includes the durability cost.
+        tmp = tempfile.TemporaryDirectory()
+        stack.append(tmp.cleanup)
+        location = Path(tmp.name) / ("store.db" if backend == "sqlite"
+                                     else "store")
+        storage = open_backend(backend, location)
+        stack.append(storage.close)
+        manager = TenantManager(storage, default_config={
+            "mechanism": "HDG", "epsilon": epsilon, "seed": seed,
+            "domain_size": domain_size, "total_users": total_users})
+        service = manager.service("default")
+        server = build_server(tenant_manager=manager, port=0)
     port = server.server_address[1]
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
@@ -138,18 +222,26 @@ def run(n_batches: int, batch_size: int, n_attributes: int, domain_size: int,
             single = service.query([query])
         single_seconds = time.perf_counter() - start
         assert np.isfinite(single).all()
+        if backend is not None:
+            document = service.state_dict()
+            storage_lines, storage_results = compare_storage_backends(
+                document, dataset.values, batch_size, domain_size,
+                rounds=3 if smoke else 10)
     finally:
         server.shutdown()
         server.server_close()
+        for cleanup in reversed(stack):
+            cleanup()
 
     ingest_rate = total_users / ingest_seconds
     http_rate = query_rounds * len(workload) / http_seconds
     batched_rate = query_rounds * len(workload) / batched_seconds
     direct_rate = query_rounds * len(workload) / direct_seconds
     single_rate = len(workload) / single_seconds
+    front_end = "single-tenant" if backend is None else f"backend={backend}"
     lines = [
         f"serving throughput: HDG eps={epsilon} d={n_attributes} "
-        f"c={domain_size} ({'smoke' if smoke else 'full'})",
+        f"c={domain_size} {front_end} ({'smoke' if smoke else 'full'})",
         f"  ingest            : {total_users:>8} reports in "
         f"{ingest_seconds:6.2f}s  -> {ingest_rate:10.1f} reports/sec",
         f"  re-finalize       : {refinalize_seconds:6.3f}s",
@@ -173,6 +265,10 @@ def run(n_batches: int, batch_size: int, n_attributes: int, domain_size: int,
         "in_process_queries_per_sec": round(direct_rate, 1),
         "in_process_single_query_per_sec": round(single_rate, 1),
     }
+    if backend is not None:
+        lines.extend(storage_lines)
+        entry["backend"] = backend
+        entry["storage"] = storage_results
     return "\n".join(lines), entry
 
 
@@ -182,6 +278,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="CI-sized run: small batches, few queries")
     parser.add_argument("--epsilon", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--backend", choices=sorted(BACKENDS), default=None,
+                        help="serve multi-tenant over this storage backend "
+                             "and add a JSON-vs-SQLite storage comparison")
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -191,7 +290,7 @@ def main(argv: list[str] | None = None) -> int:
         settings = dict(n_batches=20, batch_size=5_000, n_attributes=4,
                         domain_size=32, n_queries=200, query_rounds=10)
     text, entry = run(epsilon=args.epsilon, seed=args.seed, smoke=args.smoke,
-                      **settings)
+                      backend=args.backend, **settings)
     report("serving_throughput", text)
     append_trajectory("serving_throughput", entry)
     return 0

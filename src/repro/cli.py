@@ -22,11 +22,18 @@ Seven subcommands mirror how the library is typically used:
 ``serve``
     Run the long-lived JSON-over-HTTP query service
     (:mod:`repro.serving`): ingest privatized reports incrementally,
-    re-finalize on a policy, answer workloads, write snapshots.
+    re-finalize on a policy, answer workloads, write snapshots.  With
+    ``--backend`` the service runs multi-tenant over a durable storage
+    backend (JSON directory or SQLite database) with write-ahead-log
+    crash recovery.
 ``snapshot``
     Manage the versioned on-disk snapshot store: ``create`` one from a
-    freshly collected dataset, ``list`` stored versions, ``inspect``
-    one document.
+    freshly collected dataset, ``list`` stored versions (size,
+    creation time and tenant, from listing metadata), ``inspect`` one
+    document.
+``tenants``
+    Administer the tenants of a storage backend offline: ``list``,
+    ``create``, ``inspect``, ``delete``.
 
 Examples
 --------
@@ -39,7 +46,10 @@ python -m repro.cli shard-demo --shards 4 --save-state /tmp/shards
 python -m repro.cli merge /tmp/shards/shard*.json --output /tmp/merged.json
 python -m repro.cli serve --mechanism HDG --refinalize-every 5000 \\
     --snapshot-dir /tmp/snapshots --port 8125
+python -m repro.cli serve --backend sqlite --store /tmp/repro.db
 python -m repro.cli snapshot list --dir /tmp/snapshots
+python -m repro.cli tenants create --backend sqlite --store /tmp/repro.db \\
+    --name acme --mechanism LHIO --ingest-mode refit
 """
 
 from __future__ import annotations
@@ -60,7 +70,10 @@ from .metrics import mean_absolute_error
 from .pipeline import (ParallelFitReport, ShardAggregator, merge_aggregators,
                        parallel_fit, shard_seed, write_state)
 from .queries import WorkloadGenerator, answer_workload
-from .serving import QueryService, SnapshotStore, build_server, serve
+from .serving import (QueryService, SnapshotStore, TenantManager,
+                      build_server, serve)
+from .serving.tenants import service_from_config
+from .storage import BACKENDS, StorageError, open_backend
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -255,7 +268,8 @@ def _build_streaming_service(args: argparse.Namespace) -> QueryService:
     service = QueryService(args.mechanism, args.epsilon, seed=args.seed,
                            refinalize_every=args.refinalize_every,
                            total_users=args.total_users,
-                           domain_size=args.domain_size)
+                           domain_size=args.domain_size,
+                           ingest_mode=getattr(args, "ingest_mode", "stream"))
     if args.bootstrap_dataset:
         rng = np.random.default_rng(args.seed)
         dataset = make_dataset(args.bootstrap_dataset, args.n_users,
@@ -265,7 +279,64 @@ def _build_streaming_service(args: argparse.Namespace) -> QueryService:
     return service
 
 
+def _default_tenant_config(args: argparse.Namespace) -> dict:
+    """The default tenant's config from the serving CLI arguments."""
+    return {
+        "mechanism": args.mechanism,
+        "epsilon": args.epsilon,
+        "seed": args.seed,
+        "refinalize_every": args.refinalize_every,
+        "total_users": args.total_users,
+        "domain_size": args.domain_size,
+        "ingest_mode": getattr(args, "ingest_mode", "stream"),
+        "keep_last": args.keep_last,
+    }
+
+
+def _command_serve_multi_tenant(args: argparse.Namespace) -> int:
+    """``repro serve --backend ...``: multi-tenant over a storage backend."""
+    if not args.store:
+        print("--backend requires --store (the store directory for json, "
+              "the database file for sqlite)", file=sys.stderr)
+        return 2
+    if args.restore:
+        print("--restore is implicit with --backend: tenants recover "
+              "automatically from snapshots plus the ingest log",
+              file=sys.stderr)
+        return 2
+    backend = open_backend(args.backend, args.store)
+    try:
+        manager = TenantManager(backend,
+                                default_config=_default_tenant_config(args))
+    except (ValueError, StorageError) as error:
+        backend.close()
+        print(f"cannot start tenants: {error}", file=sys.stderr)
+        return 2
+    server = build_server(host=args.host, port=args.port,
+                          verbose=args.verbose, workers=args.workers,
+                          tenant_manager=manager)
+    host, port = server.server_address[:2]
+    storage = manager.storage_status()
+    print(f"serving {storage['tenants']} tenant(s) from "
+          f"{storage['backend']}:{storage['location']} "
+          f"(pending ingest log: {storage['pending_ingest_log']}) "
+          f"on http://{host}:{port} with {args.workers} workers", flush=True)
+    print("endpoints: GET /healthz  POST /ingest  POST /query  "
+          "POST /refinalize  POST|GET /snapshot  GET|POST /tenants  "
+          "GET|DELETE /tenants/<name>", flush=True)
+    try:
+        serve(server, max_requests=args.max_requests)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.server_close()
+        backend.close()
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
+    if args.backend:
+        return _command_serve_multi_tenant(args)
     store = None
     if args.snapshot_dir:
         store = SnapshotStore(args.snapshot_dir, keep_last=args.keep_last)
@@ -280,7 +351,11 @@ def _command_serve(args: argparse.Namespace) -> int:
             print(f"cannot restore: {error}", file=sys.stderr)
             return 2
     else:
-        service = _build_streaming_service(args)
+        try:
+            service = _build_streaming_service(args)
+        except ValueError as error:
+            print(f"cannot build service: {error}", file=sys.stderr)
+            return 2
 
     server = build_server(service, host=args.host, port=args.port,
                           snapshot_store=store, verbose=args.verbose,
@@ -302,27 +377,23 @@ def _command_serve(args: argparse.Namespace) -> int:
 
 
 def _command_snapshot(args: argparse.Namespace) -> int:
-    store = SnapshotStore(args.dir, keep_last=getattr(args, "keep_last", None))
-    if args.action == "create":
-        service = _build_streaming_service(args)
-        info = service.save_snapshot(store)
-        status = service.status()
-        print(f"wrote snapshot version {info.version} "
-              f"({status['mechanism']}, eps={status['epsilon']}, "
-              f"{status['reports_ingested']} reports) -> {info.path}")
-        return 0
     if args.action == "list":
-        versions = store.versions()
-        if not versions:
-            print(f"{store.directory}: no snapshots")
-            return 0
-        latest = store.latest_version()
-        for version in versions:
-            path = store.path_of(version)
-            marker = "  <- latest" if version == latest else ""
-            print(f"  v{version:>4}  {path.stat().st_size:>10} bytes  "
-                  f"{path}{marker}")
+        return _command_snapshot_list(args)
+    if args.action == "create":
+        # Write through the directory backend so the snapshot gets its
+        # sidecar listing metadata (size, creation time, mechanism).
+        backend = open_backend("json", args.dir)
+        service = _build_streaming_service(args)
+        record = backend.save_snapshot("default", service.state_dict())
+        if args.keep_last is not None:
+            backend.prune_snapshots("default", args.keep_last)
+        status = service.status()
+        print(f"wrote snapshot version {record.version} "
+              f"({status['mechanism']}, eps={status['epsilon']}, "
+              f"{status['reports_ingested']} reports) -> "
+              f"{Path(args.dir) / SnapshotStore.FILE_TEMPLATE.format(version=record.version)}")
         return 0
+    store = SnapshotStore(args.dir, keep_last=getattr(args, "keep_last", None))
     # inspect
     try:
         state = store.load(args.version)
@@ -348,10 +419,118 @@ def _command_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_backend_from_args(args: argparse.Namespace):
+    """The storage backend the ``--backend``/``--store``/``--dir``
+    arguments select (JSON directory backend when only a directory is
+    given)."""
+    if getattr(args, "store", None):
+        return open_backend(args.backend or "json", args.store)
+    if getattr(args, "dir", None):
+        return open_backend("json", args.dir)
+    raise ValueError("pass --dir (JSON store directory) or "
+                     "--backend/--store (storage backend)")
+
+
+def _command_snapshot_list(args: argparse.Namespace) -> int:
+    """``repro snapshot list``: versions from listing metadata.
+
+    Size, creation time and tenant come from the backend's metadata
+    (sidecar records or the SQLite listing table), never by reading or
+    stat-ing the snapshot blobs themselves.
+    """
+    try:
+        backend = _open_backend_from_args(args)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    with backend:
+        records = backend.list_snapshots()
+        if not records:
+            print(f"{backend.location()}: no snapshots")
+            return 0
+        latest = {}
+        for record in records:
+            latest[record.tenant] = record.version
+        for record in records:
+            marker = ("  <- latest"
+                      if record.version == latest[record.tenant] else "")
+            print(f"  {record.tenant:>10}  v{record.version:>4}  "
+                  f"{record.size_bytes:>10} bytes  {record.created_at}  "
+                  f"{record.mechanism or '?'}"
+                  f"{marker}")
+    return 0
+
+
+def _command_tenants(args: argparse.Namespace) -> int:
+    """``repro tenants``: offline tenant administration on a backend."""
+    try:
+        backend = _open_backend_from_args(args)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    with backend:
+        try:
+            if args.action == "list":
+                records = backend.list_tenants()
+                if not records:
+                    print(f"{backend.location()}: no tenants")
+                    return 0
+                for record in records:
+                    config = record.config
+                    snapshots = backend.list_snapshots(record.name)
+                    print(f"  {record.name:>10}  "
+                          f"{config.get('mechanism', '?'):>5}  "
+                          f"eps={config.get('epsilon', '?')}  "
+                          f"snapshots={len(snapshots)}  "
+                          f"pending_log={backend.ingest_log_depth(record.name)}  "
+                          f"created={record.created_at}")
+                return 0
+            if args.action == "create":
+                config = _default_tenant_config(args)
+                if args.quota is not None:
+                    config["quota"] = args.quota
+                service_from_config(config)  # validate before persisting
+                record = backend.create_tenant(args.name, config)
+                print(f"created tenant {record.name!r} "
+                      f"({config['mechanism']}, eps={config['epsilon']}) "
+                      f"in {backend.location()}")
+                return 0
+            if args.action == "inspect":
+                record = backend.get_tenant(args.name)
+                print(f"tenant {record.name!r} created {record.created_at}")
+                print(f"  config: {record.config}")
+                print(f"  pending ingest log: "
+                      f"{backend.ingest_log_depth(record.name)}")
+                for snapshot in backend.list_snapshots(record.name):
+                    print(f"  snapshot v{snapshot.version}: "
+                          f"{snapshot.size_bytes} bytes, "
+                          f"{snapshot.created_at}, "
+                          f"wal_seq={snapshot.wal_seq}")
+                return 0
+            # delete
+            backend.delete_tenant(args.name)
+            print(f"deleted tenant {args.name!r} and its stored state")
+            return 0
+        except (StorageError, ValueError) as error:
+            print(str(error), file=sys.stderr)
+            return 2
+
+
 def _add_serving_mechanism_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--mechanism", default="HDG",
-                        choices=["TDG", "HDG", "ITDG", "IHDG"],
-                        help="shardable mechanism to collect and serve")
+                        choices=["TDG", "HDG", "ITDG", "IHDG", "CALM", "HIO",
+                                 "LHIO", "MSW", "Uni"],
+                        help="mechanism to collect and serve (the default "
+                             "stream ingest mode needs a shardable one: "
+                             "TDG, HDG, ITDG, IHDG; any mechanism works "
+                             "with --ingest-mode refit)")
+    parser.add_argument("--ingest-mode", default="stream",
+                        choices=["stream", "refit"],
+                        help="stream feeds batches through the shard "
+                             "partial_fit path; refit buffers raw rows and "
+                             "re-finalizes by fitting a fresh same-seeded "
+                             "instance from scratch (works for every "
+                             "mechanism, deterministic for crash recovery)")
     parser.add_argument("--epsilon", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--refinalize-every", type=int, default=None,
@@ -453,6 +632,16 @@ def build_parser() -> argparse.ArgumentParser:
                                    "time)")
     serve_parser.add_argument("--verbose", action="store_true",
                               help="log one line per handled request")
+    serve_parser.add_argument("--backend", default=None,
+                              choices=sorted(BACKENDS),
+                              help="run multi-tenant over this storage "
+                                   "backend (tenants, write-ahead ingest "
+                                   "log, automatic crash recovery); "
+                                   "requires --store")
+    serve_parser.add_argument("--store", default=None, metavar="LOCATION",
+                              help="storage backend location: the store "
+                                   "directory for json, the database file "
+                                   "for sqlite")
     serve_parser.set_defaults(handler=_command_serve)
 
     snapshot_parser = subparsers.add_parser(
@@ -469,8 +658,16 @@ def build_parser() -> argparse.ArgumentParser:
     create_parser.set_defaults(handler=_command_snapshot,
                                bootstrap_dataset="normal")
     list_parser = snapshot_actions.add_parser(
-        "list", help="list stored snapshot versions")
-    list_parser.add_argument("--dir", required=True)
+        "list", help="list stored snapshot versions (size, creation time "
+                     "and tenant, from listing metadata)")
+    list_parser.add_argument("--dir", default=None,
+                             help="JSON snapshot store directory")
+    list_parser.add_argument("--backend", default=None,
+                             choices=sorted(BACKENDS),
+                             help="list a storage backend instead of a "
+                                  "plain directory (with --store)")
+    list_parser.add_argument("--store", default=None, metavar="LOCATION",
+                             help="storage backend location")
     list_parser.set_defaults(handler=_command_snapshot)
     inspect_parser = snapshot_actions.add_parser(
         "inspect", help="print one snapshot document's summary")
@@ -478,6 +675,48 @@ def build_parser() -> argparse.ArgumentParser:
     inspect_parser.add_argument("--version", type=int, default=None,
                                 help="version to inspect (default: latest)")
     inspect_parser.set_defaults(handler=_command_snapshot)
+
+    tenants_parser = subparsers.add_parser(
+        "tenants", help="administer the tenants of a storage backend")
+    tenant_actions = tenants_parser.add_subparsers(dest="action",
+                                                   required=True)
+
+    def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--backend", default="json",
+                            choices=sorted(BACKENDS),
+                            help="storage backend kind (default: json)")
+        parser.add_argument("--store", required=True, metavar="LOCATION",
+                            help="storage backend location: the store "
+                                 "directory for json, the database file "
+                                 "for sqlite")
+
+    tenants_list = tenant_actions.add_parser(
+        "list", help="list the backend's tenants")
+    _add_backend_arguments(tenants_list)
+    tenants_list.set_defaults(handler=_command_tenants)
+    tenants_create = tenant_actions.add_parser(
+        "create", help="create a tenant with a service configuration")
+    _add_backend_arguments(tenants_create)
+    tenants_create.add_argument("--name", required=True,
+                                help="tenant name (path- and URL-safe)")
+    tenants_create.add_argument("--quota", type=int, default=None,
+                                help="max total reports the tenant may "
+                                     "ingest (default: unlimited)")
+    tenants_create.add_argument("--keep-last", type=int, default=None,
+                                metavar="K",
+                                help="snapshot retention for the tenant")
+    _add_serving_mechanism_arguments(tenants_create)
+    tenants_create.set_defaults(handler=_command_tenants)
+    tenants_inspect = tenant_actions.add_parser(
+        "inspect", help="print one tenant's config, snapshots and log depth")
+    _add_backend_arguments(tenants_inspect)
+    tenants_inspect.add_argument("--name", required=True)
+    tenants_inspect.set_defaults(handler=_command_tenants)
+    tenants_delete = tenant_actions.add_parser(
+        "delete", help="drop a tenant and all its stored state")
+    _add_backend_arguments(tenants_delete)
+    tenants_delete.add_argument("--name", required=True)
+    tenants_delete.set_defaults(handler=_command_tenants)
     return parser
 
 

@@ -15,13 +15,19 @@ This package provides that serving layer on top of the mechanisms'
     :class:`QueryService` — thread-safe ingest → re-finalize → answer
     loop around one mechanism, serializable with its pending (not yet
     finalized) reports.
+:mod:`repro.serving.tenants`
+    :class:`TenantManager` — one named :class:`QueryService` per
+    tenant over a :class:`~repro.storage.StorageBackend`, with
+    write-ahead-log ingest durability, per-tenant quotas and locks,
+    and automatic snapshot-plus-replay crash recovery.
 :mod:`repro.serving.http`
-    The stdlib ``ThreadingHTTPServer`` JSON API
-    (``/ingest``, ``/query``, ``/snapshot``, ``/healthz``) behind the
-    ``repro serve`` CLI verb.
+    The stdlib worker-pool JSON API (``/ingest``, ``/query``,
+    ``/snapshot``, ``/healthz``, ``/tenants``) behind the
+    ``repro serve`` CLI verb, in single-service or multi-tenant mode.
 
-See docs/serving.md for the operations guide and docs/api.md for the
-full reference.
+See docs/serving.md for the operations guide, docs/storage.md for the
+storage backends and tenant lifecycle, and docs/api.md for the full
+reference.
 """
 
 from .http import (ServingHTTPServer, ServingRequestHandler, build_server,
@@ -30,10 +36,12 @@ from .service import (SERVICE_SNAPSHOT_FORMAT, SERVICE_SNAPSHOT_VERSION,
                       QueryService, ServiceError, predicate_from_wire,
                       queries_from_wire, query_from_wire, query_to_wire)
 from .snapshot import (SNAPSHOT_MECHANISMS, SnapshotInfo, SnapshotStore,
-                       restore_mechanism)
+                       fsync_directory, restore_mechanism)
+from .tenants import QuotaExceededError, TenantManager
 
 __all__ = [
     "QueryService",
+    "QuotaExceededError",
     "SERVICE_SNAPSHOT_FORMAT",
     "SERVICE_SNAPSHOT_VERSION",
     "SNAPSHOT_MECHANISMS",
@@ -42,7 +50,9 @@ __all__ = [
     "ServingRequestHandler",
     "SnapshotInfo",
     "SnapshotStore",
+    "TenantManager",
     "build_server",
+    "fsync_directory",
     "predicate_from_wire",
     "queries_from_wire",
     "query_from_wire",

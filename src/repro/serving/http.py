@@ -7,27 +7,43 @@ ThreadPoolExecutor`, each worker serving its connection's requests
 (HTTP/1.1 keep-alive) with the service's internal lock serializing
 state changes:
 
-=======  =============  ====================================================
-Method   Path           Meaning
-=======  =============  ====================================================
-GET      ``/healthz``   Service status document + package version
-POST     ``/ingest``    ``{"rows": [[...], ...], "domain_size"?: c}``
-POST     ``/query``     ``{"queries": [...]}`` — one typed wire workload —
-                        or ``{"workloads": [[...], ...]}`` — a batch of
-                        workloads answered under one lock acquisition (see
-                        :meth:`~repro.serving.QueryService.query_wire_batch`)
-POST     ``/refinalize``  Force a re-finalize of the pending reports
-POST     ``/snapshot``  Write a snapshot version (requires a store)
-GET      ``/snapshot``  List stored snapshot versions
-=======  =============  ====================================================
+=======  =================  ================================================
+Method   Path               Meaning
+=======  =================  ================================================
+GET      ``/healthz``       Service status document + package version (and,
+                            in multi-tenant mode, the ``storage`` section)
+POST     ``/ingest``        ``{"rows": [[...], ...], "domain_size"?: c}``
+POST     ``/query``         ``{"queries": [...]}`` — one typed wire
+                            workload — or ``{"workloads": [[...], ...]}`` —
+                            a batch answered under one lock acquisition (see
+                            :meth:`~repro.serving.QueryService.query_wire_batch`)
+POST     ``/refinalize``    Force a re-finalize of the pending reports
+POST     ``/snapshot``      Write a snapshot version (requires a store)
+GET      ``/snapshot``      List stored snapshot versions
+GET      ``/tenants``       List hosted tenants (multi-tenant mode)
+POST     ``/tenants``       Create a tenant: ``{"name": n, "config": {...}}``
+GET      ``/tenants/<n>``   Inspect one tenant (config, status, snapshots)
+DELETE   ``/tenants/<n>``   Delete a tenant and all its stored state
+=======  =================  ================================================
+
+When the server is built with a :class:`~repro.serving.tenants.
+TenantManager`, the four serving routes take an optional tenant name —
+``"tenant"`` in the POST body or ``?tenant=<name>`` on the URL — and
+route to that tenant's service; requests without one fall back to the
+``default`` tenant, so the single-tenant wire format keeps working
+unchanged.  Ingest then flows through the manager's write-ahead log
+(the receipt gains ``wal_seq``), and ``/snapshot`` persists through the
+storage backend instead of a bare directory store.
 
 Errors return a structured body ``{"error": msg, "code": code}``:
 400 ``bad-request`` for malformed payloads (including bodies that are
 not valid JSON and unknown query ``"type"`` values), 404 ``not-found``
-for unknown paths, 409 ``conflict`` for operations the service cannot
+for unknown paths, 404 ``unknown-tenant`` for routes naming a tenant
+that does not exist, 409 ``conflict`` for operations the service cannot
 perform in its current state (not ready, static mode, no snapshot
-store), and 500 ``internal`` for unexpected failures — never a raw
-traceback on the wire.
+store, duplicate tenant), 429 ``quota-exceeded`` when an ingest batch
+would push a tenant past its configured quota, and 500 ``internal`` for
+unexpected failures — never a raw traceback on the wire.
 
 Build a bound server with :func:`build_server` (``port=0`` picks a free
 port — the tests and the in-process quickstart rely on that) and run it
@@ -41,10 +57,14 @@ from __future__ import annotations
 import json
 from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, HTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from .._version import package_version
+from ..storage.base import (DEFAULT_TENANT, TenantExistsError,
+                            UnknownTenantError)
 from .service import QueryService, ServiceError
 from .snapshot import SnapshotStore
+from .tenants import QuotaExceededError, TenantManager
 
 __all__ = ["ServingHTTPServer", "ServingRequestHandler", "build_server",
            "serve"]
@@ -95,11 +115,15 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
     """Routes the JSON API onto one :class:`QueryService`.
 
     Subclasses produced by :func:`build_server` bind the ``service``,
-    ``snapshot_store`` and ``verbose`` class attributes.
+    ``snapshot_store``, ``tenant_manager`` and ``verbose`` class
+    attributes.  With a ``tenant_manager``, serving routes resolve a
+    tenant per request; without one, the server runs in the original
+    single-service mode.
     """
 
-    service: QueryService
+    service: QueryService | None = None
     snapshot_store: SnapshotStore | None = None
+    tenant_manager: TenantManager | None = None
     verbose: bool = False
 
     server_version = "repro-serving/1.0"
@@ -150,36 +174,113 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
         return document
 
     # ------------------------------------------------------------------
+    # Tenant resolution
+    # ------------------------------------------------------------------
+    def _split_path(self) -> tuple[str, dict]:
+        """``self.path`` as (path, single-valued query params)."""
+        parsed = urlsplit(self.path)
+        params = {key: values[-1]
+                  for key, values in parse_qs(parsed.query).items()}
+        return parsed.path, params
+
+    def _tenant_of(self, payload: dict, params: dict) -> str:
+        """The tenant a serving request routes to (default fallback)."""
+        return str(payload.get("tenant") or params.get("tenant")
+                   or DEFAULT_TENANT)
+
+    def _service_for(self, tenant: str) -> QueryService:
+        """The :class:`QueryService` answering for ``tenant``."""
+        if self.tenant_manager is not None:
+            return self.tenant_manager.service(tenant)
+        return self.service
+
+    def _healthz_document(self, params: dict) -> dict:
+        """``GET /healthz``: status + (multi-tenant) storage section."""
+        document = {"status": "ok", "version": package_version()}
+        if self.tenant_manager is None:
+            return {**document, **self.service.status()}
+        storage = self.tenant_manager.storage_status()
+        tenant = self._tenant_of({}, params)
+        if self.tenant_manager.has_tenant(tenant):
+            document.update(self.tenant_manager.service(tenant).status())
+            document["tenant"] = tenant
+        document["storage"] = storage
+        return document
+
+    def _snapshot_listing(self, tenant: str) -> dict:
+        """``GET /snapshot``: versions from the store or metadata tables."""
+        if self.tenant_manager is not None:
+            records = self.tenant_manager.backend.list_snapshots(tenant)
+            return {
+                "tenant": tenant,
+                "location": self.tenant_manager.backend.location(),
+                "versions": [record.version for record in records],
+                "latest": records[-1].version if records else None,
+                "snapshots": [record.to_document() for record in records],
+            }
+        if self.snapshot_store is None:
+            raise ServiceError("no snapshot store configured "
+                               "(start with --snapshot-dir)")
+        return {
+            "directory": str(self.snapshot_store.directory),
+            "versions": self.snapshot_store.versions(),
+            "latest": self.snapshot_store.latest_version(),
+        }
+
+    def _save_snapshot(self, tenant: str) -> dict:
+        """``POST /snapshot``: persist through the manager or the store."""
+        if self.tenant_manager is not None:
+            record = self.tenant_manager.save_snapshot(tenant)
+            return {"tenant": tenant, "version": record.version,
+                    "wal_seq": record.wal_seq,
+                    "size_bytes": record.size_bytes}
+        if self.snapshot_store is None:
+            raise ServiceError("no snapshot store configured "
+                               "(start with --snapshot-dir)")
+        info = self.service.save_snapshot(self.snapshot_store)
+        return {"version": info.version, "path": str(info.path)}
+
+    def _require_manager(self) -> TenantManager:
+        if self.tenant_manager is None:
+            raise ServiceError("multi-tenant administration needs a storage "
+                               "backend (start with --backend/--store)")
+        return self.tenant_manager
+
+    # ------------------------------------------------------------------
     # Routes
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        """Read-only routes: ``/healthz`` and the snapshot listing."""
+        """Read-only routes: ``/healthz``, snapshot and tenant listings."""
+        path, params = self._split_path()
         try:
-            if self.path == "/healthz":
-                self._send_json(200, {"status": "ok",
-                                      "version": package_version(),
-                                      **self.service.status()})
-            elif self.path == "/snapshot":
-                if self.snapshot_store is None:
-                    self._send_error_json(
-                        409, "conflict", "no snapshot store configured "
-                        "(start with --snapshot-dir)")
-                else:
-                    self._send_json(200, {
-                        "directory": str(self.snapshot_store.directory),
-                        "versions": self.snapshot_store.versions(),
-                        "latest": self.snapshot_store.latest_version(),
-                    })
+            if path == "/healthz":
+                self._send_json(200, self._healthz_document(params))
+            elif path == "/snapshot":
+                tenant = self._tenant_of({}, params)
+                self._send_json(200, self._snapshot_listing(tenant))
+            elif path == "/tenants":
+                manager = self._require_manager()
+                self._send_json(200, {"tenants": manager.list_tenants(),
+                                      "count": len(manager.tenant_names())})
+            elif path.startswith("/tenants/"):
+                manager = self._require_manager()
+                name = path.removeprefix("/tenants/")
+                self._send_json(200, manager.describe_tenant(name))
             else:
                 self._send_error_json(404, "not-found",
-                                      f"unknown path {self.path}")
+                                      f"unknown path {path}")
+        except UnknownTenantError as error:
+            self._send_error_json(404, "unknown-tenant", str(error))
+        except ServiceError as error:
+            self._send_error_json(409, "conflict", str(error))
         except Exception as error:  # pragma: no cover - defensive
             self._send_error_json(500, "internal",
                                   f"internal error: "
                                   f"{type(error).__name__}: {error}")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        """State-changing routes: ingest, query, refinalize, snapshot."""
+        """State-changing routes: ingest, query, refinalize, snapshot,
+        tenant creation."""
         # Read (and fully consume) the body before routing: a parse
         # failure must still leave the connection aligned on the next
         # request boundary, and must answer 400, not tear down the
@@ -190,25 +291,46 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(400, "bad-request",
                                   f"bad request: invalid JSON body ({error})")
             return
+        path, params = self._split_path()
         try:
-            if self.path == "/ingest":
-                receipt = self.service.ingest(payload["rows"],
-                                              payload.get("domain_size"))
+            if path == "/ingest":
+                tenant = self._tenant_of(payload, params)
+                if self.tenant_manager is not None:
+                    receipt = self.tenant_manager.ingest(
+                        tenant, payload["rows"], payload.get("domain_size"))
+                else:
+                    receipt = self.service.ingest(payload["rows"],
+                                                  payload.get("domain_size"))
                 self._send_json(200, receipt)
-            elif self.path == "/query":
-                self._send_json(200, self._answer_query(payload))
-            elif self.path == "/refinalize":
-                self._send_json(200, self.service.refinalize())
-            elif self.path == "/snapshot":
-                if self.snapshot_store is None:
-                    raise ServiceError("no snapshot store configured "
-                                       "(start with --snapshot-dir)")
-                info = self.service.save_snapshot(self.snapshot_store)
-                self._send_json(200, {"version": info.version,
-                                      "path": str(info.path)})
+            elif path == "/query":
+                service = self._service_for(self._tenant_of(payload, params))
+                self._send_json(200, self._answer_query(service, payload))
+            elif path == "/refinalize":
+                tenant = self._tenant_of(payload, params)
+                if self.tenant_manager is not None:
+                    status = self.tenant_manager.refinalize(tenant)
+                else:
+                    status = self.service.refinalize()
+                self._send_json(200, status)
+            elif path == "/snapshot":
+                tenant = self._tenant_of(payload, params)
+                self._send_json(200, self._save_snapshot(tenant))
+            elif path == "/tenants":
+                manager = self._require_manager()
+                record = manager.create_tenant(
+                    str(payload["name"]), dict(payload.get("config") or {}))
+                self._send_json(201, {"name": record.name,
+                                      "created_at": record.created_at,
+                                      "config": record.config})
             else:
                 self._send_error_json(404, "not-found",
-                                      f"unknown path {self.path}")
+                                      f"unknown path {path}")
+        except QuotaExceededError as error:
+            self._send_error_json(429, "quota-exceeded", str(error))
+        except UnknownTenantError as error:
+            self._send_error_json(404, "unknown-tenant", str(error))
+        except TenantExistsError as error:
+            self._send_error_json(409, "conflict", str(error))
         except ServiceError as error:
             self._send_error_json(409, "conflict", str(error))
         except (KeyError, ValueError, TypeError) as error:
@@ -219,32 +341,61 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
                                   f"internal error: "
                                   f"{type(error).__name__}: {error}")
 
-    def _answer_query(self, payload: dict) -> dict:
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        """``DELETE /tenants/<name>``: drop a tenant and its state."""
+        path, _ = self._split_path()
+        try:
+            if path.startswith("/tenants/"):
+                manager = self._require_manager()
+                name = path.removeprefix("/tenants/")
+                manager.delete_tenant(name)
+                self._send_json(200, {"deleted": name})
+            else:
+                self._send_error_json(404, "not-found",
+                                      f"unknown path {path}")
+        except UnknownTenantError as error:
+            self._send_error_json(404, "unknown-tenant", str(error))
+        except ServiceError as error:
+            self._send_error_json(409, "conflict", str(error))
+        except Exception as error:  # pragma: no cover - defensive
+            self._send_error_json(500, "internal",
+                                  f"internal error: "
+                                  f"{type(error).__name__}: {error}")
+
+    def _answer_query(self, service: QueryService, payload: dict) -> dict:
         """Dispatch ``/query``: one workload or a batch of workloads."""
         if "workloads" in payload:
             if "queries" in payload:
                 raise ValueError(
                     "pass either 'queries' or 'workloads', not both")
-            return self.service.query_wire_batch(payload["workloads"])
+            return service.query_wire_batch(payload["workloads"])
         if "queries" not in payload:
             raise ValueError("payload needs 'queries' (one workload) or "
                              "'workloads' (a batch of workloads)")
-        return self.service.query_wire(payload["queries"])
+        return service.query_wire(payload["queries"])
 
 
-def build_server(service: QueryService, host: str = "127.0.0.1",
+def build_server(service: QueryService | None = None,
+                 host: str = "127.0.0.1",
                  port: int = 0, snapshot_store: SnapshotStore | None = None,
                  verbose: bool = False,
-                 workers: int = DEFAULT_WORKERS) -> ServingHTTPServer:
-    """A bound (not yet running) worker-pool HTTP server over ``service``.
+                 workers: int = DEFAULT_WORKERS,
+                 tenant_manager: TenantManager | None = None,
+                 ) -> ServingHTTPServer:
+    """A bound (not yet running) worker-pool HTTP server.
 
+    Pass ``service`` for the original single-service mode, or
+    ``tenant_manager`` for multi-tenant serving over a storage backend
+    (requests without a tenant route to the ``default`` tenant).
     ``port=0`` binds any free port; read the result from
     ``server.server_address``.  ``workers`` sizes the request pool —
     each worker owns one keep-alive connection at a time.
     """
+    if (service is None) == (tenant_manager is None):
+        raise ValueError("pass exactly one of service or tenant_manager")
     handler = type("BoundServingRequestHandler", (ServingRequestHandler,),
                    {"service": service, "snapshot_store": snapshot_store,
-                    "verbose": verbose})
+                    "tenant_manager": tenant_manager, "verbose": verbose})
     return ServingHTTPServer((host, port), handler, workers=workers)
 
 

@@ -12,6 +12,14 @@ the shard ``partial_fit`` path.  It runs in one of two modes:
   machinery on the clone and atomically swaps it in as the serving
   estimator.  Answers therefore stay fresh without ever refitting from
   scratch, and collection never pauses for finalization.
+* **refit streaming** (``ingest_mode="refit"``) — constructed from
+  *any* snapshotable mechanism name, shardable or not (LHIO, HIO,
+  CALM, MSW, Uni included).  ``ingest`` buffers the raw batches; a
+  re-finalize runs the full ``fit()`` on a fresh same-seeded instance
+  over everything buffered so far and swaps it in.  Refitting from
+  scratch is deterministic in (seed, rows), which is what lets the
+  multi-tenant write-ahead-log recovery replay a crashed refit
+  tenant bitwise (``tests/test_crash_recovery.py``).
 * **static** — constructed from an already-fitted mechanism (any of
   the nine, shardable or not).  Queries and snapshots work; ``ingest``
   raises :class:`ServiceError`.
@@ -45,7 +53,8 @@ from ..pipeline.aggregator import SHARDABLE_MECHANISMS
 from ..queries import (MarginalQuery, PointQuery, Predicate,
                        PredicateCountQuery, Query, QueryResult, RangeQuery,
                        ScalarResult, TopKQuery, query_kind)
-from .snapshot import SnapshotInfo, SnapshotStore, restore_mechanism
+from .snapshot import (SNAPSHOT_MECHANISMS, SnapshotInfo, SnapshotStore,
+                       restore_mechanism)
 
 #: Format tag written into serialized service states.
 SERVICE_SNAPSHOT_FORMAT = "repro.service-snapshot"
@@ -183,24 +192,42 @@ class QueryService:
         Default attribute domain size ``c`` assumed for raw-row ingest
         batches; per-call and :class:`~repro.datasets.Dataset` values
         override it.
+    ingest_mode:
+        ``"stream"`` (default) ingests through the shard
+        ``partial_fit`` path and requires a shardable mechanism;
+        ``"refit"`` buffers the raw batches and re-finalizes by
+        fitting a fresh same-seeded instance from scratch, which works
+        for every snapshotable mechanism.  Ignored when a fitted
+        instance is passed (static serving).
     mechanism_kwargs:
         Extra keyword arguments for name-based mechanism construction.
     """
+
+    #: Legal ``ingest_mode`` values.
+    INGEST_MODES = ("stream", "refit")
 
     def __init__(self, mechanism: str | RangeQueryMechanism = "HDG",
                  epsilon: float = 1.0, *, seed: int | None = None,
                  refinalize_every: int | None = None,
                  total_users: int | None = None,
                  domain_size: int | None = None,
+                 ingest_mode: str = "stream",
                  **mechanism_kwargs):
         if refinalize_every is not None and refinalize_every < 1:
             raise ValueError("refinalize_every must be >= 1 when set")
+        if ingest_mode not in self.INGEST_MODES:
+            raise ValueError(f"unknown ingest_mode {ingest_mode!r}; "
+                             f"known: {list(self.INGEST_MODES)}")
         self._lock = threading.RLock()
         #: Serializes whole re-finalize operations (capture → Phase 2 →
         #: swap) without holding the state lock through the heavy part.
         self._refinalize_lock = threading.Lock()
         self._estimator: RangeQueryMechanism | None = None
         self._collector: RangeQueryMechanism | None = None
+        #: Refit-mode state: buffered raw batches + rebuild recipe.
+        self._refit: dict | None = None
+        self._pending_rows: list[np.ndarray] = []
+        self._pending_schema: tuple[int, int] | None = None
         self.refinalize_every = refinalize_every
         self.total_users = total_users
         self.domain_size = domain_size
@@ -216,15 +243,28 @@ class QueryService:
                     raise ValueError(
                         f"{type(mechanism).__name__} does not support "
                         "incremental ingest; pass a fitted instance for "
-                        "static serving")
+                        "static serving, or construct by name with "
+                        "ingest_mode='refit'")
                 self._collector = mechanism
+        elif ingest_mode == "refit":
+            try:
+                factory = SNAPSHOT_MECHANISMS[mechanism]
+            except KeyError:
+                raise ValueError(
+                    f"unknown mechanism {mechanism!r}; "
+                    f"known: {sorted(SNAPSHOT_MECHANISMS)}") from None
+            self._refit = {"name": mechanism, "factory": factory,
+                           "epsilon": float(epsilon), "seed": seed,
+                           "kwargs": dict(mechanism_kwargs)}
         else:
             try:
                 factory = SHARDABLE_MECHANISMS[mechanism]
             except KeyError:
                 raise ValueError(
                     f"unknown or non-shardable mechanism {mechanism!r}; "
-                    f"known: {sorted(SHARDABLE_MECHANISMS)}") from None
+                    f"known: {sorted(SHARDABLE_MECHANISMS)} "
+                    "(any snapshotable mechanism works with "
+                    "ingest_mode='refit')") from None
             self._collector = factory(epsilon, seed=seed, **mechanism_kwargs)
 
     # ------------------------------------------------------------------
@@ -233,17 +273,28 @@ class QueryService:
     @property
     def mechanism_name(self) -> str:
         """Paper name of the served mechanism (e.g. ``"HDG"``)."""
+        if self._refit is not None:
+            return self._refit["name"]
         return (self._collector or self._estimator).name
 
     @property
     def epsilon(self) -> float:
         """Per-user privacy budget of the served mechanism."""
+        if self._refit is not None:
+            return self._refit["epsilon"]
         return (self._collector or self._estimator).epsilon
 
     @property
+    def ingest_mode(self) -> str | None:
+        """``"stream"``, ``"refit"``, or None for static services."""
+        if self._refit is not None:
+            return "refit"
+        return "stream" if self._collector is not None else None
+
+    @property
     def is_streaming(self) -> bool:
-        """Whether the service accepts ``ingest`` (has an open collector)."""
-        return self._collector is not None
+        """Whether the service accepts ``ingest``."""
+        return self._collector is not None or self._refit is not None
 
     @property
     def is_ready(self) -> bool:
@@ -254,17 +305,25 @@ class QueryService:
         """Service health document (what ``GET /healthz`` returns)."""
         with self._lock:
             reference = self._collector or self._estimator
+            if reference is not None:
+                n_attributes = reference._n_attributes
+                domain_size = reference._domain_size
+            elif self._pending_schema is not None:
+                n_attributes, domain_size = self._pending_schema
+            else:
+                n_attributes, domain_size = None, self.domain_size
             return {
-                "mechanism": reference.name,
-                "epsilon": reference.epsilon,
+                "mechanism": self.mechanism_name,
+                "epsilon": self.epsilon,
                 "mode": "streaming" if self.is_streaming else "static",
+                "ingest_mode": self.ingest_mode,
                 "ready": self.is_ready,
                 "reports_ingested": self.reports_ingested,
                 "reports_since_finalize": self.reports_since_finalize,
                 "finalize_count": self.finalize_count,
                 "refinalize_every": self.refinalize_every,
-                "n_attributes": reference._n_attributes,
-                "domain_size": reference._domain_size,
+                "n_attributes": n_attributes,
+                "domain_size": domain_size,
                 "plan_cache": (self._estimator.plan_cache_stats()
                                if self._estimator is not None else None),
             }
@@ -282,12 +341,26 @@ class QueryService:
         automatic re-finalize policy.
         """
         with self._lock:
-            if self._collector is None:
+            if not self.is_streaming:
                 raise ServiceError(
                     "service is static (built from a fitted mechanism); "
                     "ingest needs streaming mode")
             batch = self._as_dataset(rows, domain_size)
-            self._collector.partial_fit(batch, total_users=self.total_users)
+            if self._refit is not None:
+                schema = (batch.n_attributes, batch.domain_size)
+                if self._pending_schema is None:
+                    self._pending_schema = schema
+                elif schema != self._pending_schema:
+                    raise ServiceError(
+                        f"batch shape (d={schema[0]}, c={schema[1]}) does "
+                        f"not match earlier batches (d="
+                        f"{self._pending_schema[0]}, "
+                        f"c={self._pending_schema[1]})")
+                self._pending_rows.append(np.asarray(batch.values,
+                                                     dtype=np.int64))
+            else:
+                self._collector.partial_fit(batch,
+                                            total_users=self.total_users)
             self.reports_ingested += batch.n_users
             self.reports_since_finalize += batch.n_users
             refinalized = (self.refinalize_every is not None
@@ -309,12 +382,14 @@ class QueryService:
             return rows
         domain_size = domain_size or self.domain_size
         if domain_size is None:
-            collector_domain = self._collector._domain_size
-            if collector_domain is None:
+            if self._collector is not None:
+                domain_size = self._collector._domain_size
+            elif self._pending_schema is not None:
+                domain_size = self._pending_schema[1]
+            if domain_size is None:
                 raise ServiceError(
                     "domain_size is required for the first raw-row batch "
                     "(pass it per call or at service construction)")
-            domain_size = collector_domain
         return Dataset(np.asarray(rows, dtype=np.int64), int(domain_size))
 
     def refinalize(self) -> dict:
@@ -325,7 +400,7 @@ class QueryService:
         is finalized, and the serving estimator is replaced atomically.
         """
         with self._lock:
-            if self._collector is None:
+            if not self.is_streaming:
                 raise ServiceError("service is static; nothing to re-finalize")
             if self.reports_ingested == 0:
                 raise ServiceError("no reports ingested yet")
@@ -336,12 +411,16 @@ class QueryService:
         """Capture → finalize a clone → swap.
 
         Only the accumulator capture and the estimator swap hold the
-        state lock; the Phase-2 pass itself runs without it, so
-        concurrent queries keep answering from the previous estimator
-        instead of stalling.  Whole re-finalizes are serialized by
-        their own lock so swaps land in capture order.
+        state lock; the Phase-2 pass (or, in refit mode, the full
+        ``fit``) itself runs without it, so concurrent queries keep
+        answering from the previous estimator instead of stalling.
+        Whole re-finalizes are serialized by their own lock so swaps
+        land in capture order.
         """
         with self._refinalize_lock:
+            if self._refit is not None:
+                self._refinalize_refit()
+                return
             with self._lock:
                 collector = self._collector
                 factory = type(collector)
@@ -355,6 +434,26 @@ class QueryService:
             with self._lock:
                 self._estimator = clone
                 self.finalize_count += 1
+
+    def _refinalize_refit(self) -> None:
+        """Refit mode: full ``fit()`` on a fresh same-seeded instance.
+
+        Deterministic in (seed, buffered rows): refitting after a
+        restart-plus-replay lands on a bitwise-identical estimator —
+        including its post-fit RNG stream, so even noise-drawing
+        answering paths (HIO/LHIO) match an uninterrupted run.
+        """
+        with self._lock:
+            rows = np.concatenate(self._pending_rows, axis=0)
+            domain_size = self._pending_schema[1]
+            recipe = self._refit
+            self.reports_since_finalize = 0
+        clone = recipe["factory"](recipe["epsilon"], seed=recipe["seed"],
+                                  **recipe["kwargs"])
+        clone.fit(Dataset(rows, domain_size))
+        with self._lock:
+            self._estimator = clone
+            self.finalize_count += 1
 
     # ------------------------------------------------------------------
     # Queries
@@ -432,11 +531,12 @@ class QueryService:
                 collector_rng = self._collector.rng.bit_generator.state
                 if self.reports_ingested > 0:
                     collector_state = self._collector.shard_state()
-            return {
+            document = {
                 "format": SERVICE_SNAPSHOT_FORMAT,
                 "version": SERVICE_SNAPSHOT_VERSION,
                 "mechanism": self.mechanism_name,
                 "epsilon": self.epsilon,
+                "ingest_mode": self.ingest_mode,
                 "refinalize_every": self.refinalize_every,
                 "total_users": self.total_users,
                 "domain_size": self.domain_size,
@@ -449,6 +549,17 @@ class QueryService:
                 "estimator": (self._estimator.save_state()
                               if self._estimator is not None else None),
             }
+            if self._refit is not None:
+                document["refit"] = {
+                    "seed": self._refit["seed"],
+                    "kwargs": self._refit["kwargs"],
+                    "pending_rows": [batch.tolist()
+                                     for batch in self._pending_rows],
+                    "pending_schema": (list(self._pending_schema)
+                                       if self._pending_schema is not None
+                                       else None),
+                }
+            return document
 
     @classmethod
     def from_state_dict(cls, state: dict,
@@ -458,7 +569,20 @@ class QueryService:
                              SERVICE_SNAPSHOT_VERSION)
         estimator = (restore_mechanism(state["estimator"])
                      if state.get("estimator") is not None else None)
-        if state.get("collector_config") is not None:
+        if state.get("refit") is not None:
+            refit = state["refit"]
+            service = cls(state["mechanism"], float(state["epsilon"]),
+                          seed=refit.get("seed"), ingest_mode="refit",
+                          refinalize_every=state.get("refinalize_every"),
+                          total_users=state.get("total_users"),
+                          domain_size=state.get("domain_size"),
+                          **dict(refit.get("kwargs") or {}))
+            service._pending_rows = [np.asarray(batch, dtype=np.int64)
+                                     for batch in refit["pending_rows"]]
+            schema = refit.get("pending_schema")
+            service._pending_schema = tuple(schema) if schema else None
+            service._estimator = estimator
+        elif state.get("collector_config") is not None:
             factory = SHARDABLE_MECHANISMS[state["mechanism"]]
             collector = factory(float(state["epsilon"]), seed=seed,
                                 **state["collector_config"])

@@ -47,6 +47,28 @@ SNAPSHOT_MECHANISMS: dict[str, type] = {
 }
 
 
+def fsync_directory(directory: str | Path) -> None:
+    """fsync a directory so a just-renamed/linked entry survives power loss.
+
+    A rename or link is only durable once the *directory* holding the
+    new name is flushed; fsyncing the file alone leaves the name
+    itself in the page cache.  Platforms whose directories cannot be
+    opened for reading (or that lack ``O_DIRECTORY``) degrade to a
+    no-op rather than failing the write.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        descriptor = os.open(directory, flags)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(descriptor)
+
+
 def restore_mechanism(state: dict,
                       seed: int | None = None) -> RangeQueryMechanism:
     """Rebuild a fitted mechanism from a ``save_state`` document.
@@ -137,6 +159,12 @@ class SnapshotStore:
         the version slot is claimed with an exclusive hard link —
         losing a claim race just moves this snapshot to the next
         version number, never overwriting or corrupting another one.
+
+        Durable against power loss: the document bytes are fsync'd
+        before the version slot is claimed, and the directory itself
+        is fsync'd after, so a ``save`` that returned cannot produce a
+        missing or truncated snapshot file.  A failed ``save`` never
+        leaves its temp file behind.
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         descriptor, temp = tempfile.mkstemp(dir=self.directory,
@@ -144,6 +172,8 @@ class SnapshotStore:
         try:
             with os.fdopen(descriptor, "w") as handle:
                 handle.write(json.dumps(state))
+                handle.flush()
+                os.fsync(handle.fileno())
             while True:
                 version = (self.latest_version() or 0) + 1
                 path = self.path_of(version)
@@ -154,6 +184,7 @@ class SnapshotStore:
                     continue
         finally:
             os.unlink(temp)
+        fsync_directory(self.directory)
         self._prune()
         return SnapshotInfo(version=version, path=path)
 

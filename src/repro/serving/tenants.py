@@ -1,0 +1,285 @@
+"""Multi-tenant registry over one storage backend.
+
+A :class:`TenantManager` turns a single serving process into a host
+for many independent estimators: each *tenant* is one named
+(mechanism, epsilon, schema) :class:`~repro.serving.QueryService`
+with its own snapshot lineage, ingest quota and locks, all persisted
+through one :class:`~repro.storage.StorageBackend`.
+
+Concurrency
+-----------
+Each tenant runtime owns a re-entrant lock that serializes its
+*durability-coupled* operations — write-ahead-log append + in-memory
+apply, and state capture + log-position record — so the recorded WAL
+position can never drift from what a snapshot actually captured.
+Queries and re-finalizes go straight to the tenant's
+:class:`QueryService`, whose internal locks already let one tenant's
+re-finalize run while its own queries keep answering — and nothing a
+tenant does ever holds another tenant's lock, so one tenant's
+re-finalize never blocks another's queries
+(``tests/test_multi_tenant.py`` pins this).  The registry lock guards
+only the name → runtime map.
+
+Durability
+----------
+``ingest`` appends the raw batch to the backend's write-ahead ingest
+log *before* applying it in memory.  ``save_snapshot`` stores the
+service document together with the last appended log sequence and
+prunes the entries the snapshot captured.  Recovery (automatic at
+construction) restores each tenant from its newest snapshot — or a
+fresh service from the tenant's stored config — and replays the
+pending log tail in order.  Because both ingest paths are
+deterministic in (restored state, replayed rows), a recovered
+tenant's answers are bitwise identical to an uninterrupted run
+(``tests/test_crash_recovery.py`` pins this for TDG, HDG and LHIO).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..storage.base import (DEFAULT_TENANT, StorageBackend,
+                            TenantExistsError, TenantRecord,
+                            UnknownTenantError)
+from .service import QueryService, ServiceError
+
+#: Tenant-config keys forwarded to the QueryService constructor.
+_SERVICE_CONFIG_KEYS = ("mechanism", "epsilon", "seed", "refinalize_every",
+                        "total_users", "domain_size", "ingest_mode")
+
+
+class QuotaExceededError(ServiceError):
+    """An ingest batch would push a tenant past its report quota."""
+
+
+@dataclass
+class _TenantRuntime:
+    """In-memory state of one hosted tenant."""
+
+    record: TenantRecord
+    service: QueryService
+    #: Serializes WAL-append+apply and capture+record (see module doc).
+    lock: threading.RLock = field(default_factory=threading.RLock)
+    #: Last write-ahead-log sequence applied to the in-memory service.
+    last_seq: int = 0
+
+
+def service_from_config(config: dict) -> QueryService:
+    """Build the tenant's :class:`QueryService` from its stored config."""
+    kwargs = {key: config[key] for key in _SERVICE_CONFIG_KEYS
+              if config.get(key) is not None}
+    kwargs.setdefault("mechanism", "HDG")
+    kwargs.setdefault("epsilon", 1.0)
+    mechanism = kwargs.pop("mechanism")
+    epsilon = kwargs.pop("epsilon")
+    extra = dict(config.get("mechanism_kwargs") or {})
+    return QueryService(mechanism, float(epsilon), **kwargs, **extra)
+
+
+class TenantManager:
+    """Hosts one :class:`QueryService` per tenant over a storage backend.
+
+    Parameters
+    ----------
+    backend:
+        The durable home of tenant configs, snapshots and the
+        write-ahead ingest log.  Tenants already present are recovered
+        (snapshot restore + log replay) at construction.
+    default_config:
+        When given and no ``"default"`` tenant exists yet, one is
+        created with this config — the tenant every request without an
+        explicit tenant name routes to, which is what keeps the
+        single-tenant wire format working.
+    """
+
+    def __init__(self, backend: StorageBackend,
+                 default_config: dict | None = None):
+        self.backend = backend
+        self._registry_lock = threading.RLock()
+        self._runtimes: dict[str, _TenantRuntime] = {}
+        for record in backend.list_tenants():
+            self._runtimes[record.name] = self._recover(record)
+        if default_config is not None and DEFAULT_TENANT not in self._runtimes:
+            self.create_tenant(DEFAULT_TENANT, default_config)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _recover(self, record: TenantRecord) -> _TenantRuntime:
+        """Newest snapshot (if any) + write-ahead-log tail replay."""
+        try:
+            document, snapshot = self.backend.load_snapshot(record.name)
+            service = QueryService.from_state_dict(
+                document, seed=record.config.get("seed"))
+            replay_after = snapshot.wal_seq
+        except FileNotFoundError:
+            service = service_from_config(record.config)
+            replay_after = 0
+        last_seq = max(replay_after,
+                       self.backend.last_ingest_seq(record.name))
+        for entry in self.backend.pending_ingest(record.name,
+                                                 after_seq=replay_after):
+            service.ingest(entry.rows, entry.domain_size)
+            last_seq = max(last_seq, entry.seq)
+        return _TenantRuntime(record=record, service=service,
+                              last_seq=last_seq)
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def _runtime(self, tenant: str) -> _TenantRuntime:
+        with self._registry_lock:
+            runtime = self._runtimes.get(tenant)
+        if runtime is None:
+            raise UnknownTenantError(f"unknown tenant {tenant!r}")
+        return runtime
+
+    def service(self, tenant: str = DEFAULT_TENANT) -> QueryService:
+        """The named tenant's live :class:`QueryService`."""
+        return self._runtime(tenant).service
+
+    def tenant_names(self) -> list[str]:
+        """Hosted tenant names, sorted."""
+        with self._registry_lock:
+            return sorted(self._runtimes)
+
+    def has_tenant(self, tenant: str) -> bool:
+        """Whether the named tenant is hosted."""
+        with self._registry_lock:
+            return tenant in self._runtimes
+
+    def create_tenant(self, name: str, config: dict) -> TenantRecord:
+        """Validate, persist and start a new tenant.
+
+        The service is constructed *before* the record is persisted so
+        a bad config (unknown mechanism, bad epsilon) never leaves a
+        half-created tenant in the backend.
+        """
+        config = dict(config)
+        service = service_from_config(config)  # validates the config
+        with self._registry_lock:
+            if name in self._runtimes:
+                raise TenantExistsError(f"tenant {name!r} already exists")
+            record = self.backend.create_tenant(name, config)
+            self._runtimes[name] = _TenantRuntime(record=record,
+                                                  service=service)
+        return record
+
+    def delete_tenant(self, name: str) -> None:
+        """Drop a tenant: its service, snapshots and log entries."""
+        with self._registry_lock:
+            if name not in self._runtimes:
+                raise UnknownTenantError(f"unknown tenant {name!r}")
+            del self._runtimes[name]
+        self.backend.delete_tenant(name)
+
+    def describe_tenant(self, name: str) -> dict:
+        """Admin document for one tenant (``GET /tenants/<name>``)."""
+        runtime = self._runtime(name)
+        config = dict(runtime.record.config)
+        quota = config.get("quota")
+        return {
+            "name": name,
+            "created_at": runtime.record.created_at,
+            "config": config,
+            "status": runtime.service.status(),
+            "quota": quota,
+            "quota_remaining": (None if quota is None else
+                                max(0, int(quota)
+                                    - runtime.service.reports_ingested)),
+            "pending_ingest_log": self.backend.ingest_log_depth(name),
+            "snapshots": [record.version
+                          for record in self.backend.list_snapshots(name)],
+        }
+
+    def list_tenants(self) -> list[dict]:
+        """Summary rows for ``GET /tenants``."""
+        rows = []
+        for name in self.tenant_names():
+            runtime = self._runtime(name)
+            status = runtime.service.status()
+            rows.append({
+                "name": name,
+                "mechanism": status["mechanism"],
+                "epsilon": status["epsilon"],
+                "mode": status["mode"],
+                "ready": status["ready"],
+                "reports_ingested": status["reports_ingested"],
+                "quota": runtime.record.config.get("quota"),
+                "pending_ingest_log": self.backend.ingest_log_depth(name),
+            })
+        return rows
+
+    # ------------------------------------------------------------------
+    # Tenant-routed serving operations
+    # ------------------------------------------------------------------
+    def ingest(self, tenant: str, rows, domain_size: int | None = None) -> dict:
+        """Quota check → WAL append → in-memory apply, atomically.
+
+        ``rows`` must be a JSON-shaped nested list (or array) of
+        integer rows; it is validated *before* the write-ahead append
+        so a malformed batch can never poison the log.
+        """
+        runtime = self._runtime(tenant)
+        batch = np.asarray(rows, dtype=np.int64)
+        if batch.ndim != 2:
+            raise ValueError(f"rows must be a 2-D batch of user records; "
+                             f"got shape {tuple(batch.shape)}")
+        with runtime.lock:
+            quota = runtime.record.config.get("quota")
+            if quota is not None and (runtime.service.reports_ingested
+                                      + len(batch) > int(quota)):
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} quota exceeded: "
+                    f"{runtime.service.reports_ingested} ingested + "
+                    f"{len(batch)} in batch > quota {int(quota)}")
+            seq = self.backend.append_ingest(tenant, batch.tolist(),
+                                            domain_size)
+            try:
+                receipt = runtime.service.ingest(batch, domain_size)
+            except BaseException:
+                # The apply failed after the durable append: drop the
+                # entry so recovery does not replay a batch the live
+                # service never absorbed.
+                self.backend.discard_ingest(tenant, seq)
+                raise
+            runtime.last_seq = seq
+        receipt["tenant"] = tenant
+        receipt["wal_seq"] = seq
+        return receipt
+
+    def refinalize(self, tenant: str) -> dict:
+        """Re-finalize one tenant (its own locks only)."""
+        status = self._runtime(tenant).service.refinalize()
+        status["tenant"] = tenant
+        return status
+
+    def save_snapshot(self, tenant: str):
+        """Capture the tenant's state and prune the captured log tail."""
+        runtime = self._runtime(tenant)
+        with runtime.lock:
+            document = runtime.service.state_dict()
+            wal_seq = runtime.last_seq
+        record = self.backend.save_snapshot(tenant, document,
+                                            wal_seq=wal_seq)
+        self.backend.prune_ingest(tenant, record.wal_seq)
+        keep_last = runtime.record.config.get("keep_last")
+        if keep_last is not None:
+            self.backend.prune_snapshots(tenant, int(keep_last))
+        return record
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def storage_status(self) -> dict:
+        """The ``/healthz`` storage section."""
+        description = self.backend.describe()
+        description["tenants"] = len(self.tenant_names())
+        return description
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"TenantManager({self.backend.name}: "
+                f"{', '.join(self.tenant_names()) or 'no tenants'})")

@@ -1,0 +1,63 @@
+"""Durable storage backends for the serving tier.
+
+The serving stack persists three concerns — tenant configurations,
+versioned service snapshots, and a write-ahead ingest log — behind one
+:class:`StorageBackend` contract with two implementations:
+
+:class:`DirectoryBackend` (``"json"``)
+    The original directory-of-JSON snapshot layout, kept as the
+    default.  Human-inspectable files, one directory per store,
+    durable writes (fsync'd temp file + atomic rename + directory
+    fsync).
+:class:`SQLiteBackend` (``"sqlite"``)
+    One WAL-mode SQLite file with schema-per-concern tables and a
+    trigger-materialized listing view; listings and log scans never
+    touch snapshot blobs.
+
+:func:`open_backend` builds either from CLI-style arguments.  See
+docs/storage.md for the backend matrix, durability guarantees and
+recovery semantics.
+"""
+
+from .base import (DEFAULT_TENANT, IngestLogEntry, SnapshotRecord,
+                   StorageBackend, StorageError, TenantExistsError,
+                   TenantRecord, UnknownTenantError, validate_tenant_name)
+from .directory import DirectoryBackend
+from .sqlite import SQLiteBackend
+
+#: Backend constructors by CLI name.
+BACKENDS = {
+    "json": DirectoryBackend,
+    "sqlite": SQLiteBackend,
+}
+
+
+def open_backend(backend: str, location: str) -> StorageBackend:
+    """Build a storage backend by name.
+
+    ``location`` is the store directory for ``"json"`` and the
+    database file path for ``"sqlite"``.
+    """
+    try:
+        factory = BACKENDS[backend]
+    except KeyError:
+        raise ValueError(f"unknown storage backend {backend!r}; "
+                         f"known: {sorted(BACKENDS)}") from None
+    return factory(location)
+
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_TENANT",
+    "DirectoryBackend",
+    "IngestLogEntry",
+    "SQLiteBackend",
+    "SnapshotRecord",
+    "StorageBackend",
+    "StorageError",
+    "TenantExistsError",
+    "TenantRecord",
+    "UnknownTenantError",
+    "open_backend",
+    "validate_tenant_name",
+]

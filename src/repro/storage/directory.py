@@ -1,0 +1,337 @@
+"""Directory-of-JSON storage backend.
+
+This is the original PR-4 snapshot layout — a directory of
+``snapshot-NNNNNN.json`` documents managed by
+:class:`~repro.serving.SnapshotStore` — refactored behind the
+:class:`~repro.storage.StorageBackend` contract and extended with the
+two things the contract adds: a tenant registry and a write-ahead
+ingest log.
+
+Layout::
+
+    root/
+      snapshot-000001.json          # the *default* tenant's snapshots
+      snapshot-000001.meta.json     # sidecar listing metadata
+      tenants.json                  # tenant registry
+      wal/
+        default/entry-00000001.json # write-ahead ingest-log entries
+      tenants/
+        <name>/snapshot-000001.json # other tenants' snapshots
+        <name>/...
+
+The default tenant's snapshots live at the *root* so a store written
+by earlier releases (plain ``SnapshotStore`` directories) opens as a
+backend whose default tenant already has history — ``repro serve
+--backend json --snapshot-dir old-store`` restores it.  Sidecar
+``.meta.json`` records carry the listing metadata (size, creation
+time, mechanism, ingest-log position); snapshots written before the
+sidecars existed fall back to ``stat`` and report ``wal_seq 0``.
+
+Every durable write goes through the same discipline as
+``SnapshotStore.save``: private temp file, fsync, atomic
+rename/link, fsync of the containing directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+
+from ..serving.snapshot import SnapshotStore, fsync_directory
+from .base import (DEFAULT_TENANT, IngestLogEntry, SnapshotRecord,
+                   StorageBackend, TenantExistsError, TenantRecord,
+                   UnknownTenantError, snapshot_meta_from_document, utc_now,
+                   validate_tenant_name)
+
+#: Registry file name at the backend root.
+TENANTS_FILE = "tenants.json"
+TENANTS_FORMAT = "repro.tenants"
+TENANTS_VERSION = 1
+
+_WAL_TEMPLATE = "entry-{seq:08d}.json"
+_WAL_GLOB = "entry-*.json"
+
+
+def _atomic_write_json(path: Path, document: dict) -> None:
+    """Write ``document`` at ``path`` durably (temp + fsync + rename)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, temp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            handle.write(json.dumps(document))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+    except BaseException:
+        try:
+            os.unlink(temp)
+        except FileNotFoundError:
+            pass
+        raise
+    fsync_directory(path.parent)
+
+
+class DirectoryBackend(StorageBackend):
+    """Tenanted snapshots + write-ahead log over a plain directory.
+
+    Parameters
+    ----------
+    root:
+        The store directory (created lazily).  A pre-existing
+        single-tenant ``SnapshotStore`` directory is adopted as the
+        default tenant's history.
+    """
+
+    name = "json"
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self._tenants_path = self.root / TENANTS_FILE
+
+    # ------------------------------------------------------------------
+    # Tenant registry
+    # ------------------------------------------------------------------
+    def _read_registry(self) -> dict:
+        if not self._tenants_path.exists():
+            return {}
+        document = json.loads(self._tenants_path.read_text())
+        if document.get("format") != TENANTS_FORMAT:
+            raise ValueError(f"{self._tenants_path} is not a tenant "
+                             "registry file")
+        return document.get("tenants", {})
+
+    def _write_registry(self, tenants: dict) -> None:
+        _atomic_write_json(self._tenants_path, {
+            "format": TENANTS_FORMAT,
+            "version": TENANTS_VERSION,
+            "tenants": tenants,
+        })
+
+    def create_tenant(self, name: str, config: dict) -> TenantRecord:
+        validate_tenant_name(name)
+        tenants = self._read_registry()
+        if name in tenants:
+            raise TenantExistsError(f"tenant {name!r} already exists")
+        entry = {"config": dict(config), "created_at": utc_now()}
+        tenants[name] = entry
+        self._write_registry(tenants)
+        return TenantRecord(name=name, config=dict(config),
+                            created_at=entry["created_at"])
+
+    def get_tenant(self, name: str) -> TenantRecord:
+        entry = self._read_registry().get(name)
+        if entry is None:
+            raise UnknownTenantError(f"unknown tenant {name!r}")
+        return TenantRecord(name=name, config=dict(entry.get("config", {})),
+                            created_at=entry.get("created_at", ""))
+
+    def list_tenants(self) -> list[TenantRecord]:
+        return [TenantRecord(name=name,
+                             config=dict(entry.get("config", {})),
+                             created_at=entry.get("created_at", ""))
+                for name, entry in sorted(self._read_registry().items())]
+
+    def delete_tenant(self, name: str) -> None:
+        tenants = self._read_registry()
+        if name not in tenants:
+            raise UnknownTenantError(f"unknown tenant {name!r}")
+        del tenants[name]
+        self._write_registry(tenants)
+        store = self._store_for(name)
+        for version in store.versions():
+            store.path_of(version).unlink(missing_ok=True)
+            self._meta_path(store, version).unlink(missing_ok=True)
+        wal = self._wal_dir(name)
+        if wal.is_dir():
+            for path in wal.glob(_WAL_GLOB):
+                path.unlink(missing_ok=True)
+        if name != DEFAULT_TENANT:
+            directory = store.directory
+            if directory.is_dir() and not any(directory.iterdir()):
+                directory.rmdir()
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def _store_for(self, tenant: str) -> SnapshotStore:
+        if tenant == DEFAULT_TENANT:
+            return SnapshotStore(self.root)
+        return SnapshotStore(self.root / "tenants" / tenant)
+
+    @staticmethod
+    def _meta_path(store: SnapshotStore, version: int) -> Path:
+        return store.path_of(version).with_suffix(".meta.json")
+
+    def _require_tenant(self, tenant: str) -> None:
+        # The default tenant is implicit for adopted legacy stores:
+        # snapshot access works even before a registry entry exists.
+        if tenant == DEFAULT_TENANT:
+            return
+        if tenant not in self._read_registry():
+            raise UnknownTenantError(f"unknown tenant {tenant!r}")
+
+    def save_snapshot(self, tenant: str, document: dict, *,
+                      wal_seq: int = 0) -> SnapshotRecord:
+        self._require_tenant(tenant)
+        store = self._store_for(tenant)
+        info = store.save(document)
+        meta = {
+            "tenant": tenant,
+            "version": info.version,
+            "created_at": utc_now(),
+            "size_bytes": info.path.stat().st_size,
+            "wal_seq": int(wal_seq),
+            **snapshot_meta_from_document(document),
+        }
+        _atomic_write_json(self._meta_path(store, info.version), meta)
+        return SnapshotRecord(**meta)
+
+    def _record_of(self, tenant: str, store: SnapshotStore,
+                   version: int) -> SnapshotRecord:
+        meta_path = self._meta_path(store, version)
+        if meta_path.exists():
+            meta = json.loads(meta_path.read_text())
+            meta.setdefault("tenant", tenant)
+            return SnapshotRecord(**meta)
+        # Pre-backend snapshot: stat fallback, unknown log position.
+        stat = store.path_of(version).stat()
+        created = datetime.fromtimestamp(
+            stat.st_mtime, timezone.utc).isoformat(timespec="seconds")
+        return SnapshotRecord(tenant=tenant, version=version,
+                              created_at=created, size_bytes=stat.st_size)
+
+    def load_snapshot(self, tenant: str,
+                      version: int | None = None) -> tuple[dict,
+                                                           SnapshotRecord]:
+        self._require_tenant(tenant)
+        store = self._store_for(tenant)
+        if version is None:
+            version = store.latest_version()
+            if version is None:
+                raise FileNotFoundError(
+                    f"tenant {tenant!r} has no snapshots in {self.root}")
+        document = store.load(version)
+        return document, self._record_of(tenant, store, version)
+
+    def list_snapshots(self, tenant: str | None = None) -> list[SnapshotRecord]:
+        if tenant is None:
+            names = {DEFAULT_TENANT, *self._read_registry()}
+            records = []
+            for name in sorted(names):
+                records.extend(self.list_snapshots(name))
+            return records
+        self._require_tenant(tenant)
+        store = self._store_for(tenant)
+        return [self._record_of(tenant, store, version)
+                for version in store.versions()]
+
+    def prune_snapshots(self, tenant: str, keep_last: int) -> int:
+        if keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
+        self._require_tenant(tenant)
+        store = self._store_for(tenant)
+        stale = store.versions()[:-keep_last]
+        for version in stale:
+            store.path_of(version).unlink(missing_ok=True)
+            self._meta_path(store, version).unlink(missing_ok=True)
+        return len(stale)
+
+    # ------------------------------------------------------------------
+    # Write-ahead ingest log
+    # ------------------------------------------------------------------
+    def _wal_dir(self, tenant: str) -> Path:
+        return self.root / "wal" / tenant
+
+    def _wal_seqs(self, tenant: str) -> list[int]:
+        directory = self._wal_dir(tenant)
+        if not directory.is_dir():
+            return []
+        seqs = []
+        for path in directory.glob(_WAL_GLOB):
+            stem = path.stem.removeprefix("entry-")
+            if stem.isdigit():
+                seqs.append(int(stem))
+        return sorted(seqs)
+
+    def append_ingest(self, tenant: str, rows: list,
+                      domain_size: int | None = None) -> int:
+        self._require_tenant(tenant)
+        directory = self._wal_dir(tenant)
+        directory.mkdir(parents=True, exist_ok=True)
+        seq = self.last_ingest_seq(tenant) + 1
+        entry = {"seq": seq, "rows": rows, "domain_size": domain_size,
+                 "created_at": utc_now()}
+        _atomic_write_json(directory / _WAL_TEMPLATE.format(seq=seq), entry)
+        self._write_wal_floor(tenant, seq)
+        return seq
+
+    # The floor file makes last_ingest_seq monotonic across prunes:
+    # without it, pruning every entry would restart sequence numbers
+    # and a later snapshot could mistake new entries for captured ones.
+    def _floor_path(self, tenant: str) -> Path:
+        return self._wal_dir(tenant) / "floor.json"
+
+    def _read_wal_floor(self, tenant: str) -> int:
+        path = self._floor_path(tenant)
+        if not path.exists():
+            return 0
+        return int(json.loads(path.read_text()).get("last_seq", 0))
+
+    def _write_wal_floor(self, tenant: str, seq: int) -> None:
+        current = self._read_wal_floor(tenant)
+        if seq > current:
+            _atomic_write_json(self._floor_path(tenant), {"last_seq": seq})
+
+    def pending_ingest(self, tenant: str,
+                       after_seq: int = 0) -> list[IngestLogEntry]:
+        self._require_tenant(tenant)
+        directory = self._wal_dir(tenant)
+        entries = []
+        for seq in self._wal_seqs(tenant):
+            if seq <= after_seq:
+                continue
+            raw = json.loads(
+                (directory / _WAL_TEMPLATE.format(seq=seq)).read_text())
+            entries.append(IngestLogEntry(
+                tenant=tenant, seq=seq, rows=raw["rows"],
+                domain_size=raw.get("domain_size"),
+                created_at=raw.get("created_at", "")))
+        return entries
+
+    def prune_ingest(self, tenant: str, upto_seq: int) -> int:
+        self._require_tenant(tenant)
+        directory = self._wal_dir(tenant)
+        removed = 0
+        for seq in self._wal_seqs(tenant):
+            if seq <= upto_seq:
+                (directory / _WAL_TEMPLATE.format(seq=seq)).unlink(
+                    missing_ok=True)
+                removed += 1
+        return removed
+
+    def discard_ingest(self, tenant: str, seq: int) -> None:
+        self._require_tenant(tenant)
+        path = self._wal_dir(tenant) / _WAL_TEMPLATE.format(seq=seq)
+        path.unlink(missing_ok=True)
+
+    def ingest_log_depth(self, tenant: str | None = None) -> int:
+        if tenant is not None:
+            return len(self._wal_seqs(tenant))
+        wal_root = self.root / "wal"
+        if not wal_root.is_dir():
+            return 0
+        return sum(len(self._wal_seqs(child.name))
+                   for child in wal_root.iterdir() if child.is_dir())
+
+    def last_ingest_seq(self, tenant: str) -> int:
+        seqs = self._wal_seqs(tenant)
+        return max(seqs[-1] if seqs else 0, self._read_wal_floor(tenant))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def location(self) -> str:
+        return str(self.root)

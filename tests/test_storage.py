@@ -1,0 +1,366 @@
+"""Tests for the storage backend tier (repro.storage).
+
+One parametrized contract suite runs against both implementations —
+the directory-of-JSON backend and the SQLite backend — covering the
+three concerns: the tenant registry, versioned snapshots with listing
+metadata, and the write-ahead ingest log (including sequence-number
+monotonicity across prunes).  Backend-specific sections pin the
+DirectoryBackend's adoption of legacy ``SnapshotStore`` directories,
+the SQLiteBackend's WAL-mode pragmas and trigger-maintained listing
+table, and the atomic-write durability regression: a failed write
+never leaves a temp file behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.serving import QueryService, SnapshotStore
+from repro.storage import (BACKENDS, DirectoryBackend, SQLiteBackend,
+                           StorageBackend, TenantExistsError,
+                           UnknownTenantError, open_backend,
+                           validate_tenant_name)
+
+
+@pytest.fixture(params=sorted(BACKENDS))
+def backend(request, tmp_path) -> StorageBackend:
+    if request.param == "json":
+        built = DirectoryBackend(tmp_path / "store")
+    else:
+        built = SQLiteBackend(tmp_path / "store.db")
+    yield built
+    built.close()
+
+
+def _service_document(seed: int = 7, reports: int = 50) -> dict:
+    service = QueryService("TDG", 1.0, seed=seed, domain_size=8)
+    rng = np.random.default_rng(seed)
+    service.ingest(rng.integers(0, 8, size=(reports, 2)))
+    service.refinalize()
+    return service.state_dict()
+
+
+# ----------------------------------------------------------------------
+# Tenant registry
+# ----------------------------------------------------------------------
+def test_tenant_crud_round_trip(backend):
+    record = backend.create_tenant("acme", {"mechanism": "TDG",
+                                            "epsilon": 0.5})
+    assert record.name == "acme"
+    assert record.created_at
+    assert backend.get_tenant("acme").config["epsilon"] == 0.5
+    assert [r.name for r in backend.list_tenants()] == ["acme"]
+    assert backend.has_tenant("acme")
+    backend.delete_tenant("acme")
+    assert not backend.has_tenant("acme")
+    assert backend.list_tenants() == []
+
+
+def test_tenant_errors(backend):
+    backend.create_tenant("acme", {})
+    with pytest.raises(TenantExistsError):
+        backend.create_tenant("acme", {})
+    with pytest.raises(UnknownTenantError):
+        backend.get_tenant("nope")
+    with pytest.raises(UnknownTenantError):
+        backend.delete_tenant("nope")
+    with pytest.raises(UnknownTenantError):
+        backend.save_snapshot("nope", {"mechanism": "TDG"})
+    with pytest.raises(UnknownTenantError):
+        backend.append_ingest("nope", [[1, 2]])
+
+
+@pytest.mark.parametrize("bad", ["", "a/b", "a b", ".hidden", "x" * 65,
+                                 "tab\tname"])
+def test_tenant_name_validation(backend, bad):
+    with pytest.raises(ValueError):
+        backend.create_tenant(bad, {})
+
+
+def test_validate_tenant_name_accepts_safe_names():
+    for name in ("default", "acme", "a-b_c.d", "Tenant42"):
+        assert validate_tenant_name(name) == name
+
+
+# ----------------------------------------------------------------------
+# Snapshots + listing metadata
+# ----------------------------------------------------------------------
+def test_snapshot_save_load_round_trip(backend):
+    backend.create_tenant("acme", {})
+    document = _service_document()
+    record = backend.save_snapshot("acme", document, wal_seq=3)
+    assert record.version == 1
+    assert record.wal_seq == 3
+    assert record.size_bytes > 0
+    assert record.mechanism == "TDG"
+    assert record.reports_ingested == 50
+    loaded, loaded_record = backend.load_snapshot("acme")
+    assert loaded == document
+    assert loaded_record.version == 1
+    assert loaded_record.wal_seq == 3
+
+
+def test_snapshot_versions_increment_and_listing(backend):
+    backend.create_tenant("acme", {})
+    for wal_seq in (1, 2, 3):
+        backend.save_snapshot("acme", _service_document(), wal_seq=wal_seq)
+    records = backend.list_snapshots("acme")
+    assert [r.version for r in records] == [1, 2, 3]
+    assert [r.wal_seq for r in records] == [1, 2, 3]
+    assert backend.latest_snapshot_version("acme") == 3
+    # Explicit-version load picks the requested document's record.
+    _, record = backend.load_snapshot("acme", version=2)
+    assert record.version == 2
+
+
+def test_snapshot_listing_covers_all_tenants(backend):
+    backend.create_tenant("a", {})
+    backend.create_tenant("b", {})
+    backend.save_snapshot("a", _service_document())
+    backend.save_snapshot("b", _service_document())
+    tenants = {record.tenant for record in backend.list_snapshots()}
+    assert {"a", "b"} <= tenants
+
+
+def test_snapshot_prune_keeps_newest(backend):
+    backend.create_tenant("acme", {})
+    for _ in range(4):
+        backend.save_snapshot("acme", _service_document())
+    assert backend.prune_snapshots("acme", 2) == 2
+    assert [r.version for r in backend.list_snapshots("acme")] == [3, 4]
+    # Pruned versions are gone for load too.
+    with pytest.raises(FileNotFoundError):
+        backend.load_snapshot("acme", version=1)
+
+
+def test_load_snapshot_empty_raises_file_not_found(backend):
+    backend.create_tenant("acme", {})
+    with pytest.raises(FileNotFoundError):
+        backend.load_snapshot("acme")
+
+
+def test_snapshot_record_document_shape(backend):
+    backend.create_tenant("acme", {})
+    record = backend.save_snapshot("acme", _service_document(), wal_seq=9)
+    document = record.to_document()
+    assert document["tenant"] == "acme"
+    assert document["version"] == 1
+    assert document["wal_seq"] == 9
+    assert json.dumps(document)  # plain JSON
+
+
+# ----------------------------------------------------------------------
+# Write-ahead ingest log
+# ----------------------------------------------------------------------
+def test_wal_append_pending_prune(backend):
+    backend.create_tenant("acme", {})
+    assert backend.last_ingest_seq("acme") == 0
+    assert backend.append_ingest("acme", [[1, 2]], 8) == 1
+    assert backend.append_ingest("acme", [[3, 4], [5, 6]], 8) == 2
+    entries = backend.pending_ingest("acme")
+    assert [e.seq for e in entries] == [1, 2]
+    assert entries[1].rows == [[3, 4], [5, 6]]
+    assert entries[0].domain_size == 8
+    assert backend.pending_ingest("acme", after_seq=1)[0].seq == 2
+    assert backend.ingest_log_depth("acme") == 2
+    assert backend.prune_ingest("acme", 1) == 1
+    assert [e.seq for e in backend.pending_ingest("acme")] == [2]
+
+
+def test_wal_sequence_monotonic_across_prunes(backend):
+    """Pruning every entry must not restart sequence numbering:
+    otherwise a later snapshot's recorded position would shadow new
+    entries and recovery would silently drop them."""
+    backend.create_tenant("acme", {})
+    backend.append_ingest("acme", [[1, 2]])
+    backend.append_ingest("acme", [[3, 4]])
+    backend.prune_ingest("acme", 2)
+    assert backend.ingest_log_depth("acme") == 0
+    assert backend.last_ingest_seq("acme") == 2
+    assert backend.append_ingest("acme", [[5, 6]]) == 3
+
+
+def test_wal_discard_removes_one_entry(backend):
+    backend.create_tenant("acme", {})
+    backend.append_ingest("acme", [[1, 2]])
+    seq = backend.append_ingest("acme", [[3, 4]])
+    backend.discard_ingest("acme", seq)
+    assert [e.seq for e in backend.pending_ingest("acme")] == [1]
+    # Discard does not lower the sequence horizon.
+    assert backend.last_ingest_seq("acme") == 2
+
+
+def test_wal_depth_across_tenants(backend):
+    backend.create_tenant("a", {})
+    backend.create_tenant("b", {})
+    backend.append_ingest("a", [[1, 2]])
+    backend.append_ingest("b", [[3, 4]])
+    backend.append_ingest("b", [[5, 6]])
+    assert backend.ingest_log_depth("a") == 1
+    assert backend.ingest_log_depth("b") == 2
+    assert backend.ingest_log_depth() == 3
+
+
+def test_delete_tenant_drops_snapshots_and_log(backend):
+    backend.create_tenant("acme", {})
+    backend.save_snapshot("acme", _service_document())
+    backend.append_ingest("acme", [[1, 2]])
+    backend.delete_tenant("acme")
+    backend.create_tenant("acme", {})
+    assert backend.list_snapshots("acme") == []
+    assert backend.pending_ingest("acme") == []
+
+
+def test_describe_and_location(backend):
+    backend.create_tenant("acme", {})
+    backend.append_ingest("acme", [[1, 2]])
+    description = backend.describe()
+    assert description["backend"] in BACKENDS
+    assert description["tenants"] == 1
+    assert description["pending_ingest_log"] == 1
+    assert description["location"] == backend.location()
+
+
+def test_open_backend_dispatch(tmp_path):
+    with open_backend("json", str(tmp_path / "d")) as built:
+        assert isinstance(built, DirectoryBackend)
+    with open_backend("sqlite", str(tmp_path / "s.db")) as built:
+        assert isinstance(built, SQLiteBackend)
+    with pytest.raises(ValueError, match="unknown storage backend"):
+        open_backend("postgres", "x")
+
+
+# ----------------------------------------------------------------------
+# DirectoryBackend: legacy store adoption
+# ----------------------------------------------------------------------
+def test_directory_backend_adopts_legacy_snapshot_store(tmp_path):
+    """A plain SnapshotStore directory opens as the default tenant's
+    history — size and creation time fall back to stat, wal_seq to 0."""
+    store = SnapshotStore(tmp_path)
+    document = _service_document()
+    store.save(document)
+    backend = DirectoryBackend(tmp_path)
+    records = backend.list_snapshots("default")
+    assert [r.version for r in records] == [1]
+    assert records[0].size_bytes == store.path_of(1).stat().st_size
+    assert records[0].wal_seq == 0
+    loaded, _ = backend.load_snapshot("default")
+    assert loaded == document
+
+
+def test_directory_backend_meta_sidecars_ignored_by_snapshot_store(tmp_path):
+    """Sidecar .meta.json files must not count as snapshot versions."""
+    backend = DirectoryBackend(tmp_path)
+    backend.save_snapshot("default", _service_document())
+    assert SnapshotStore(tmp_path).versions() == [1]
+
+
+# ----------------------------------------------------------------------
+# SQLiteBackend: pragmas, listing triggers, cascade
+# ----------------------------------------------------------------------
+def test_sqlite_backend_runs_in_wal_mode(tmp_path):
+    backend = SQLiteBackend(tmp_path / "s.db")
+    assert str(backend.pragma("journal_mode")).lower() == "wal"
+    assert int(backend.pragma("foreign_keys")) == 1
+    backend.close()
+
+
+def test_sqlite_listing_table_maintained_by_triggers(tmp_path):
+    backend = SQLiteBackend(tmp_path / "s.db")
+    backend.create_tenant("acme", {})
+    backend.save_snapshot("acme", _service_document())
+    backend.save_snapshot("acme", _service_document())
+    backend.prune_snapshots("acme", 1)
+    backend.close()
+    connection = sqlite3.connect(tmp_path / "s.db")
+    try:
+        rows = connection.execute(
+            "SELECT tenant, version FROM snapshot_listing").fetchall()
+        assert rows == [("acme", 2)]
+    finally:
+        connection.close()
+
+
+def test_sqlite_delete_tenant_cascades(tmp_path):
+    backend = SQLiteBackend(tmp_path / "s.db")
+    backend.create_tenant("acme", {})
+    backend.save_snapshot("acme", _service_document())
+    backend.append_ingest("acme", [[1, 2]])
+    backend.delete_tenant("acme")
+    backend.close()
+    connection = sqlite3.connect(tmp_path / "s.db")
+    try:
+        for table in ("snapshots", "snapshot_blobs", "ingest_log",
+                      "snapshot_listing"):
+            count = connection.execute(
+                f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+            assert count == 0, table
+    finally:
+        connection.close()
+
+
+def test_sqlite_reopen_preserves_everything(tmp_path):
+    path = tmp_path / "s.db"
+    document = _service_document()
+    with SQLiteBackend(path) as backend:
+        backend.create_tenant("acme", {"mechanism": "TDG"})
+        backend.save_snapshot("acme", document, wal_seq=1)
+        backend.append_ingest("acme", [[1, 2]], 8)
+    with SQLiteBackend(path) as backend:
+        assert backend.get_tenant("acme").config == {"mechanism": "TDG"}
+        loaded, record = backend.load_snapshot("acme")
+        assert loaded == document and record.wal_seq == 1
+        assert backend.pending_ingest("acme")[0].rows == [[1, 2]]
+        assert backend.last_ingest_seq("acme") == 1
+
+
+# ----------------------------------------------------------------------
+# Atomic-write durability regression (SnapshotStore + backends)
+# ----------------------------------------------------------------------
+def _temp_files(directory) -> list:
+    return [path for path in directory.iterdir()
+            if path.suffix == ".tmp" or path.name.endswith(".json.tmp")]
+
+
+def test_snapshot_store_failed_save_leaves_no_temp_file(tmp_path):
+    """A save that dies mid-serialization must clean up its temp file
+    and must not claim a version slot."""
+    store = SnapshotStore(tmp_path)
+    store.save({"ok": 1})
+    with pytest.raises(TypeError):
+        store.save({"bad": object()})  # not JSON-serializable
+    assert store.versions() == [1]
+    assert _temp_files(tmp_path) == []
+
+
+def test_snapshot_store_failed_link_leaves_no_temp_file(tmp_path,
+                                                        monkeypatch):
+    """Even a failure at the claim step (os.link) cleans up."""
+    store = SnapshotStore(tmp_path)
+
+    def refuse_link(src, dst):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(os, "link", refuse_link)
+    with pytest.raises(OSError, match="disk full"):
+        store.save({"ok": 1})
+    monkeypatch.undo()
+    assert store.versions() == []
+    assert _temp_files(tmp_path) == []
+    # The store still works after the failure.
+    assert store.save({"ok": 1}).version == 1
+
+
+def test_directory_backend_failed_write_leaves_no_temp_file(tmp_path):
+    backend = DirectoryBackend(tmp_path)
+    backend.create_tenant("acme", {})
+    with pytest.raises(TypeError):
+        backend.append_ingest("acme", [[object()]])
+    wal_dir = tmp_path / "wal" / "acme"
+    assert _temp_files(wal_dir) == []
+    assert backend.pending_ingest("acme") == []
