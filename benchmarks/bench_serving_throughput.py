@@ -30,12 +30,22 @@ additionally reports a **storage comparison** — snapshot save/restore
 latency and write-ahead ingest-log throughput for *both* backends side
 by side — so one trajectory row captures JSON vs SQLite.
 
+With ``--fault-rate P`` the run adds a **resilience** section: ingest
+throughput under injected locked-database faults (retried by the
+resilience layer), query throughput while a tripped circuit breaker
+holds the tenant in degraded mode, and the no-fault overhead of the
+retry/fault-injection wrappers — gated by ``--max-overhead-fraction``
+(default 5%; CI passes a lax 0.5 against shared-runner noise, the same
+precedent as ``bench_mixed_workload.py``).
+
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_serving_throughput.py
     PYTHONPATH=src python benchmarks/bench_serving_throughput.py --smoke
     PYTHONPATH=src python benchmarks/bench_serving_throughput.py \\
         --smoke --backend sqlite
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py \\
+        --smoke --fault-rate 0.1
 
 ``--smoke`` shrinks the load so CI exercises the whole path in a few
 seconds.  Every run appends a record to the ``BENCH_fit.json``
@@ -62,6 +72,9 @@ from _scale import append_trajectory, report  # noqa: E402
 
 from repro.datasets import make_dataset  # noqa: E402
 from repro.queries import WorkloadGenerator  # noqa: E402
+from repro.resilience import (DegradedServiceError,  # noqa: E402
+                              FaultInjectingBackend, FaultPlan, FaultSpec,
+                              RetryPolicy)
 from repro.serving import (QueryService, TenantManager,  # noqa: E402
                            build_server, query_to_wire)
 from repro.storage import BACKENDS, open_backend  # noqa: E402
@@ -131,9 +144,111 @@ def compare_storage_backends(document: dict, rows: np.ndarray,
     return lines, results
 
 
+def measure_resilience(rows: np.ndarray, batch_size: int, domain_size: int,
+                       wire_workload: list, fault_rate: float,
+                       query_rounds: int, epsilon: float, seed: int,
+                       total_users: int) -> tuple[list[str], dict]:
+    """The ``--fault-rate`` section: resilience overhead + degraded mode.
+
+    Three in-process measurements over the JSON backend (no HTTP, so
+    the numbers isolate the resilience machinery itself):
+
+    * **no-fault overhead** — write-ahead ingest throughput through a
+      pass-through :class:`FaultInjectingBackend` under the default
+      :class:`RetryPolicy`, against a raw backend with retries off.
+      This is the price every healthy request pays, and the gated
+      number (``--max-overhead-fraction``).
+    * **faulted ingest** — the same ingest with locked-database faults
+      injected at ``fault_rate``, retried transparently.
+    * **degraded queries** — query throughput after a permanent-fault
+      storm trips the tenant's breaker: answers keep flowing from the
+      last finalized estimator while ingest answers 503.
+    """
+    config = {"mechanism": "HDG", "epsilon": epsilon, "seed": seed,
+              "domain_size": domain_size, "total_users": total_users}
+    n_batches = max(1, len(rows) // batch_size)
+    batches = [rows[index * batch_size:(index + 1) * batch_size]
+               for index in range(n_batches)]
+
+    def ingest_rate(manager, repeats: int = 2) -> float:
+        best = 0.0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for chunk in batches:
+                manager.ingest("default", chunk)
+            elapsed = time.perf_counter() - start
+            best = max(best, n_batches * batch_size / elapsed)
+        return best
+
+    with tempfile.TemporaryDirectory() as tmp:
+        with open_backend("json", Path(tmp) / "baseline") as raw:
+            baseline = ingest_rate(TenantManager(
+                raw, default_config=config,
+                retry_policy=RetryPolicy.no_retry()))
+
+        with open_backend("json", Path(tmp) / "guarded") as inner:
+            guarded = ingest_rate(TenantManager(
+                FaultInjectingBackend(inner), default_config=config))
+        overhead = max(0.0, 1.0 - guarded / baseline)
+
+        with open_backend("json", Path(tmp) / "faulted") as inner:
+            plan = FaultPlan([FaultSpec(op="append_ingest", error="locked",
+                                        rate=fault_rate, times=0)],
+                             seed=seed)
+            manager = TenantManager(
+                FaultInjectingBackend(inner, plan), default_config=config,
+                retry_policy=RetryPolicy(attempts=5, base_delay=1e-4,
+                                         max_delay=1e-3, seed=seed))
+            faulted = ingest_rate(manager, repeats=1)
+            retries = manager.retry_policy.retries_performed
+            faults_fired = plan.total_fired
+            manager.refinalize("default")
+
+            # Trip the breaker with a permanent-fault storm, then
+            # measure query throughput in degraded mode.
+            plan.specs.append(FaultSpec(op="append_ingest",
+                                        error="permanent", rate=1.0,
+                                        times=0))
+            while not manager.degraded_tenants():
+                try:
+                    manager.ingest("default", batches[0])
+                except DegradedServiceError:
+                    continue
+            service = manager.service("default")
+            start = time.perf_counter()
+            for _ in range(query_rounds):
+                answered = service.query_wire(wire_workload)
+            degraded_seconds = time.perf_counter() - start
+            assert answered["count"] == len(wire_workload)
+            degraded_rate = (query_rounds * len(wire_workload)
+                             / degraded_seconds)
+
+    lines = [
+        f"  resilience        : no-fault overhead {overhead * 100:5.2f}%  "
+        f"(guarded {guarded:10.1f} vs raw {baseline:10.1f} reports/sec)",
+        f"  faulted ingest    : {faulted:10.1f} reports/sec at "
+        f"fault rate {fault_rate} ({faults_fired} faults, "
+        f"{retries} retries)",
+        f"  degraded queries  : {degraded_rate:10.1f} queries/sec "
+        "(breaker open, answers from last finalized estimator)",
+    ]
+    section = {
+        "fault_rate": fault_rate,
+        "no_fault_overhead_fraction": round(overhead, 4),
+        "baseline_ingest_reports_per_sec": round(baseline, 1),
+        "guarded_ingest_reports_per_sec": round(guarded, 1),
+        "faulted_ingest_reports_per_sec": round(faulted, 1),
+        "faults_fired": faults_fired,
+        "retries_performed": retries,
+        "degraded_queries_per_sec": round(degraded_rate, 1),
+    }
+    return lines, section
+
+
 def run(n_batches: int, batch_size: int, n_attributes: int, domain_size: int,
         n_queries: int, query_rounds: int, epsilon: float, seed: int,
-        smoke: bool, backend: str | None = None) -> tuple[str, dict]:
+        smoke: bool, backend: str | None = None,
+        fault_rate: float | None = None) -> tuple[str, dict]:
     rng = np.random.default_rng(seed)
     total_users = n_batches * batch_size
     dataset = make_dataset("normal", total_users, n_attributes, domain_size,
@@ -227,6 +342,10 @@ def run(n_batches: int, batch_size: int, n_attributes: int, domain_size: int,
             storage_lines, storage_results = compare_storage_backends(
                 document, dataset.values, batch_size, domain_size,
                 rounds=3 if smoke else 10)
+        if fault_rate is not None:
+            resilience_lines, resilience_section = measure_resilience(
+                dataset.values, batch_size, domain_size, wire_workload,
+                fault_rate, query_rounds, epsilon, seed, total_users)
     finally:
         server.shutdown()
         server.server_close()
@@ -269,6 +388,9 @@ def run(n_batches: int, batch_size: int, n_attributes: int, domain_size: int,
         lines.extend(storage_lines)
         entry["backend"] = backend
         entry["storage"] = storage_results
+    if fault_rate is not None:
+        lines.extend(resilience_lines)
+        entry["resilience"] = resilience_section
     return "\n".join(lines), entry
 
 
@@ -281,7 +403,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--backend", choices=sorted(BACKENDS), default=None,
                         help="serve multi-tenant over this storage backend "
                              "and add a JSON-vs-SQLite storage comparison")
+    parser.add_argument("--fault-rate", type=float, default=None,
+                        metavar="P",
+                        help="add the resilience section: measure ingest "
+                             "under injected locked-database faults at "
+                             "this rate, degraded-mode query throughput, "
+                             "and the no-fault resilience overhead")
+    parser.add_argument("--max-overhead-fraction", type=float, default=0.05,
+                        metavar="F",
+                        help="with --fault-rate: fail (exit 1) when the "
+                             "no-fault resilience overhead exceeds this "
+                             "fraction of raw ingest throughput (CI uses "
+                             "a lax 0.5 to tolerate shared-runner noise)")
     args = parser.parse_args(argv)
+    if args.fault_rate is not None and not 0.0 <= args.fault_rate < 1.0:
+        parser.error("--fault-rate must be in [0, 1)")
 
     if args.smoke:
         settings = dict(n_batches=4, batch_size=500, n_attributes=3,
@@ -290,9 +426,17 @@ def main(argv: list[str] | None = None) -> int:
         settings = dict(n_batches=20, batch_size=5_000, n_attributes=4,
                         domain_size=32, n_queries=200, query_rounds=10)
     text, entry = run(epsilon=args.epsilon, seed=args.seed, smoke=args.smoke,
-                      backend=args.backend, **settings)
+                      backend=args.backend, fault_rate=args.fault_rate,
+                      **settings)
     report("serving_throughput", text)
     append_trajectory("serving_throughput", entry)
+    if args.fault_rate is not None:
+        overhead = entry["resilience"]["no_fault_overhead_fraction"]
+        if overhead > args.max_overhead_fraction:
+            print(f"FAIL: no-fault resilience overhead {overhead:.4f} "
+                  f"exceeds --max-overhead-fraction "
+                  f"{args.max_overhead_fraction}", file=sys.stderr)
+            return 1
     return 0
 
 

@@ -70,6 +70,7 @@ from .metrics import mean_absolute_error
 from .pipeline import (ParallelFitReport, ShardAggregator, merge_aggregators,
                        parallel_fit, shard_seed, write_state)
 from .queries import WorkloadGenerator, answer_workload
+from .resilience import RetryPolicy
 from .serving import (QueryService, SnapshotStore, TenantManager,
                       build_server, serve)
 from .serving.tenants import service_from_config
@@ -304,24 +305,41 @@ def _command_serve_multi_tenant(args: argparse.Namespace) -> int:
               "automatically from snapshots plus the ingest log",
               file=sys.stderr)
         return 2
-    backend = open_backend(args.backend, args.store)
+    try:
+        backend = open_backend(args.backend, args.store,
+                               busy_timeout_ms=args.busy_timeout)
+    except ValueError as error:
+        print(f"cannot open backend: {error}", file=sys.stderr)
+        return 2
+    retry_policy = RetryPolicy(attempts=args.retry_attempts,
+                               base_delay=args.retry_base_delay,
+                               max_delay=args.retry_max_delay)
     try:
         manager = TenantManager(backend,
-                                default_config=_default_tenant_config(args))
+                                default_config=_default_tenant_config(args),
+                                retry_policy=retry_policy,
+                                breaker_threshold=args.breaker_threshold,
+                                breaker_reset=args.breaker_reset,
+                                op_deadline=args.op_deadline)
     except (ValueError, StorageError) as error:
         backend.close()
         print(f"cannot start tenants: {error}", file=sys.stderr)
         return 2
+    quarantined = manager.quarantined_tenants()
+    for name, info in quarantined.items():
+        print(f"warning: tenant {name!r} quarantined: {info['error']}",
+              file=sys.stderr)
     server = build_server(host=args.host, port=args.port,
                           verbose=args.verbose, workers=args.workers,
-                          tenant_manager=manager)
+                          tenant_manager=manager,
+                          queue_depth=args.queue_depth)
     host, port = server.server_address[:2]
     storage = manager.storage_status()
     print(f"serving {storage['tenants']} tenant(s) from "
           f"{storage['backend']}:{storage['location']} "
           f"(pending ingest log: {storage['pending_ingest_log']}) "
           f"on http://{host}:{port} with {args.workers} workers", flush=True)
-    print("endpoints: GET /healthz  POST /ingest  POST /query  "
+    print("endpoints: GET /healthz  GET /readyz  POST /ingest  POST /query  "
           "POST /refinalize  POST|GET /snapshot  GET|POST /tenants  "
           "GET|DELETE /tenants/<name>", flush=True)
     try:
@@ -337,6 +355,9 @@ def _command_serve_multi_tenant(args: argparse.Namespace) -> int:
 def _command_serve(args: argparse.Namespace) -> int:
     if args.backend:
         return _command_serve_multi_tenant(args)
+    if args.busy_timeout is not None:
+        print("--busy-timeout requires --backend sqlite", file=sys.stderr)
+        return 2
     store = None
     if args.snapshot_dir:
         store = SnapshotStore(args.snapshot_dir, keep_last=args.keep_last)
@@ -359,13 +380,14 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     server = build_server(service, host=args.host, port=args.port,
                           snapshot_store=store, verbose=args.verbose,
-                          workers=args.workers)
+                          workers=args.workers,
+                          queue_depth=args.queue_depth)
     host, port = server.server_address[:2]
     status = service.status()
     print(f"serving {status['mechanism']} (eps={status['epsilon']}, "
           f"mode={status['mode']}, ready={status['ready']}) "
           f"on http://{host}:{port} with {args.workers} workers", flush=True)
-    print("endpoints: GET /healthz  POST /ingest  POST /query  "
+    print("endpoints: GET /healthz  GET /readyz  POST /ingest  POST /query  "
           "POST /refinalize  POST|GET /snapshot", flush=True)
     try:
         serve(server, max_requests=args.max_requests)
@@ -642,6 +664,40 @@ def build_parser() -> argparse.ArgumentParser:
                               help="storage backend location: the store "
                                    "directory for json, the database file "
                                    "for sqlite")
+    serve_parser.add_argument("--queue-depth", type=int, default=16,
+                              metavar="N",
+                              help="admission queue: connections beyond the "
+                                   "worker count that may wait for a worker "
+                                   "before the listener sheds with 503")
+    serve_parser.add_argument("--retry-attempts", type=int, default=3,
+                              metavar="N",
+                              help="attempts per storage operation on the "
+                                   "ingest/snapshot path (1 = fail fast)")
+    serve_parser.add_argument("--retry-base-delay", type=float, default=0.05,
+                              metavar="SECONDS",
+                              help="first retry backoff delay (doubles per "
+                                   "retry, with seeded jitter)")
+    serve_parser.add_argument("--retry-max-delay", type=float, default=2.0,
+                              metavar="SECONDS",
+                              help="backoff delay ceiling")
+    serve_parser.add_argument("--op-deadline", type=float, default=None,
+                              metavar="SECONDS",
+                              help="wall-clock budget for one storage "
+                                   "operation including its retries "
+                                   "(default: unbounded)")
+    serve_parser.add_argument("--breaker-threshold", type=int, default=3,
+                              metavar="N",
+                              help="consecutive write-ahead-log failures "
+                                   "that trip a tenant's circuit breaker")
+    serve_parser.add_argument("--breaker-reset", type=float, default=30.0,
+                              metavar="SECONDS",
+                              help="open-breaker duration before one "
+                                   "recovery probe is allowed")
+    serve_parser.add_argument("--busy-timeout", type=int, default=None,
+                              metavar="MS",
+                              help="sqlite backend only: milliseconds a "
+                                   "locked database is waited on before "
+                                   "failing (see docs/storage.md)")
     serve_parser.set_defaults(handler=_command_serve)
 
     snapshot_parser = subparsers.add_parser(

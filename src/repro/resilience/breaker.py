@@ -1,0 +1,141 @@
+"""Per-tenant circuit breaker gating degraded-mode recovery probes.
+
+The classic three-state machine (closed → open → half-open) applied to
+a tenant's write-ahead ingest path:
+
+*closed*
+    Normal operation.  Failures are counted; ``failure_threshold``
+    *consecutive* failures trip the breaker open.
+*open*
+    The tenant is degraded: ingest is refused immediately (503 with
+    ``Retry-After`` upstream) without touching the failing backend,
+    while queries keep answering from the last finalized estimator.
+    After ``reset_timeout`` seconds the breaker lets one probe
+    through.
+*half-open*
+    Exactly one in-flight probe is allowed.  Success closes the
+    breaker (tenant recovered); failure re-opens it and restarts the
+    timeout.
+
+The clock is injectable so tests drive state transitions without
+sleeping.  All methods are thread-safe; the HTTP worker pool consults
+one breaker per tenant concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with timed half-open probes."""
+
+    def __init__(self, failure_threshold: int = 3,
+                 reset_timeout: float = 30.0, clock=time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout < 0:
+            raise ValueError("reset_timeout must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = float(reset_timeout)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probe_in_flight = False
+        self.open_count = 0
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half-open"`` (time-aware)."""
+        with self._lock:
+            return self._observe()
+
+    def _observe(self) -> str:
+        """Current state, promoting open → half-open when the timeout
+        has elapsed.  Caller holds the lock."""
+        if (self._state == OPEN
+                and self._clock() - self._opened_at >= self.reset_timeout):
+            self._state = HALF_OPEN
+            self._probe_in_flight = False
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether the caller may attempt the protected operation.
+
+        Closed: always.  Open: no (until the reset timeout).
+        Half-open: yes for exactly one caller at a time — that call is
+        the recovery probe; concurrent callers are refused until it
+        reports success or failure.
+        """
+        with self._lock:
+            state = self._observe()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """The protected operation succeeded: close and reset."""
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        """The protected operation failed: count, maybe trip open."""
+        with self._lock:
+            state = self._observe()
+            self._consecutive_failures += 1
+            should_open = (state == HALF_OPEN
+                           or self._consecutive_failures
+                           >= self.failure_threshold)
+            if should_open:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probe_in_flight = False
+                self.open_count += 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def retry_after(self) -> float:
+        """Seconds until the next probe is allowed (0 when callable now)."""
+        with self._lock:
+            state = self._observe()
+            if state == OPEN:
+                return max(0.0, self.reset_timeout
+                           - (self._clock() - self._opened_at))
+            return 0.0
+
+    def status(self) -> dict:
+        """Health-document summary (``/healthz``, ``/readyz``)."""
+        with self._lock:
+            state = self._observe()
+            return {
+                "state": state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "open_count": self.open_count,
+                "retry_after": (max(0.0, self.reset_timeout
+                                    - (self._clock() - self._opened_at))
+                                if state == OPEN else 0.0),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CircuitBreaker({self.state}, " \
+               f"failures={self._consecutive_failures})"

@@ -1,0 +1,167 @@
+"""Deadlines and bounded, seeded-jitter retry for storage calls.
+
+Two small primitives bound every storage operation the serving tier
+performs:
+
+:class:`Deadline`
+    A wall-clock budget carried through a call chain.  Created once
+    at the operation's entry point (``Deadline.after(0.5)``) and
+    checked cooperatively (``deadline.check("wal append")``) wherever
+    waiting could happen — between retry attempts, before an expensive
+    snapshot serialization.  ``None`` means "no deadline" everywhere a
+    deadline is accepted.
+:class:`RetryPolicy`
+    Exponential backoff with *seeded* jitter and a bounded attempt
+    count.  Seeding matters for the same reason everything else in
+    this repository is seeded: a retry schedule that jitters from a
+    seeded generator reproduces bit-for-bit, so chaos tests and
+    benchmarks measuring retry behaviour are deterministic.
+
+:meth:`RetryPolicy.call` composes both with the failure taxonomy:
+transient errors (see :func:`repro.resilience.classify_error`) are
+retried until attempts or the deadline run out; permanent errors
+surface immediately.  The last transient error is re-raised unchanged
+when retries are exhausted, so callers match on the original
+exception type.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .errors import DeadlineExceededError, classify_error
+
+__all__ = ["Deadline", "RetryPolicy"]
+
+
+class Deadline:
+    """A monotonic-clock budget for one logical operation.
+
+    Parameters
+    ----------
+    expires_at:
+        Absolute expiry on the ``clock`` timeline.
+    clock:
+        Time source (``time.monotonic``); injectable for tests.
+    """
+
+    __slots__ = ("expires_at", "_clock")
+
+    def __init__(self, expires_at: float, clock=time.monotonic):
+        self.expires_at = float(expires_at)
+        self._clock = clock
+
+    @classmethod
+    def after(cls, seconds: float, clock=time.monotonic) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        if seconds < 0:
+            raise ValueError("deadline must be >= 0 seconds away")
+        return cls(clock() + seconds, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds left (never negative)."""
+        return max(0.0, self.expires_at - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget is spent."""
+        return self._clock() >= self.expires_at
+
+    def check(self, operation: str = "operation") -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is spent."""
+        if self.expired:
+            raise DeadlineExceededError(
+                f"deadline exceeded before {operation} could complete")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded exponential backoff with seeded jitter.
+
+    Attempt ``k`` (0-based) sleeps ``min(base_delay * multiplier**k,
+    max_delay)`` scaled by a jitter factor drawn uniformly from
+    ``[1 - jitter, 1 + jitter]`` out of a seeded generator.  With
+    ``attempts=1`` the policy never retries (the no-retry baseline the
+    benchmark's overhead gate compares against).
+
+    ``sleep`` is injectable so tests measure retry *schedules* without
+    actually waiting.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int | None = None
+    sleep: object = time.sleep
+    #: Transient errors retried + total sleep, for health reporting.
+    retries_performed: int = field(default=0, init=False)
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self._rng = np.random.default_rng(self.seed)
+
+    @classmethod
+    def no_retry(cls) -> "RetryPolicy":
+        """A policy that performs the call once and never retries."""
+        return cls(attempts=1)
+
+    def delay_for(self, attempt: int) -> float:
+        """The backoff before retry number ``attempt`` (0-based)."""
+        delay = min(self.base_delay * self.multiplier ** attempt,
+                    self.max_delay)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return delay
+
+    def call(self, fn, *, classify=classify_error, deadline=None,
+             operation: str = "storage operation", on_retry=None):
+        """Run ``fn()`` with transient-error retries under ``deadline``.
+
+        ``classify`` maps a raised exception to ``"transient"`` or
+        ``"permanent"``; permanent errors (and the final exhausted
+        transient error) re-raise unchanged.  ``on_retry(error,
+        attempt, delay)`` is called before each backoff sleep —
+        the circuit breaker and tests hook it.
+        """
+        for attempt in range(self.attempts):
+            if deadline is not None:
+                deadline.check(operation)
+            try:
+                return fn()
+            except Exception as error:
+                last_attempt = attempt == self.attempts - 1
+                if last_attempt or classify(error) != "transient":
+                    raise
+                delay = self.delay_for(attempt)
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    if remaining <= 0.0:
+                        raise DeadlineExceededError(
+                            f"deadline exceeded retrying {operation}"
+                        ) from error
+                    delay = min(delay, remaining)
+                if on_retry is not None:
+                    on_retry(error, attempt, delay)
+                self.retries_performed += 1
+                self.sleep(delay)
+        raise AssertionError("unreachable: the loop returns or raises")
+
+    def describe(self) -> dict:
+        """Health-document summary of the policy."""
+        return {
+            "attempts": self.attempts,
+            "base_delay": self.base_delay,
+            "max_delay": self.max_delay,
+            "retries_performed": self.retries_performed,
+        }

@@ -22,14 +22,18 @@ This package provides that serving layer on top of the mechanisms'
     and automatic snapshot-plus-replay crash recovery.
 :mod:`repro.serving.http`
     The stdlib worker-pool JSON API (``/ingest``, ``/query``,
-    ``/snapshot``, ``/healthz``, ``/tenants``) behind the
-    ``repro serve`` CLI verb, in single-service or multi-tenant mode.
+    ``/snapshot``, ``/healthz``, ``/readyz``, ``/tenants``) behind the
+    ``repro serve`` CLI verb, in single-service or multi-tenant mode,
+    with bounded admission (load-shedding 503s) and degraded-mode
+    responses backed by :mod:`repro.resilience`.
 
 See docs/serving.md for the operations guide, docs/storage.md for the
-storage backends and tenant lifecycle, and docs/api.md for the full
-reference.
+storage backends and tenant lifecycle, docs/resilience.md for the
+failure taxonomy and degraded-mode contract, and docs/api.md for the
+full reference.
 """
 
+from ..resilience import DegradedServiceError
 from .http import (ServingHTTPServer, ServingRequestHandler, build_server,
                    serve)
 from .service import (SERVICE_SNAPSHOT_FORMAT, SERVICE_SNAPSHOT_VERSION,
@@ -40,6 +44,7 @@ from .snapshot import (SNAPSHOT_MECHANISMS, SnapshotInfo, SnapshotStore,
 from .tenants import QuotaExceededError, TenantManager
 
 __all__ = [
+    "DegradedServiceError",
     "QueryService",
     "QuotaExceededError",
     "SERVICE_SNAPSHOT_FORMAT",

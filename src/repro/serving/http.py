@@ -10,8 +10,11 @@ state changes:
 =======  =================  ================================================
 Method   Path               Meaning
 =======  =================  ================================================
-GET      ``/healthz``       Service status document + package version (and,
-                            in multi-tenant mode, the ``storage`` section)
+GET      ``/healthz``       Liveness: status document + package version (and,
+                            in multi-tenant mode, the ``storage``,
+                            ``resilience`` and ``load`` sections)
+GET      ``/readyz``        Readiness: 200 only when every tenant is
+                            serving (no open breakers, nothing quarantined)
 POST     ``/ingest``        ``{"rows": [[...], ...], "domain_size"?: c}``
 POST     ``/query``         ``{"queries": [...]}`` — one typed wire
                             workload — or ``{"workloads": [[...], ...]}`` —
@@ -42,7 +45,10 @@ for unknown paths, 404 ``unknown-tenant`` for routes naming a tenant
 that does not exist, 409 ``conflict`` for operations the service cannot
 perform in its current state (not ready, static mode, no snapshot
 store, duplicate tenant), 429 ``quota-exceeded`` when an ingest batch
-would push a tenant past its configured quota, and 500 ``internal`` for
+would push a tenant past its configured quota, 503 ``degraded`` (with a
+``Retry-After`` header) when a tenant's write-ahead log is unavailable
+or the tenant is quarantined, 503 ``overloaded`` (also ``Retry-After``)
+when the bounded admission queue is full, and 500 ``internal`` for
 unexpected failures — never a raw traceback on the wire.
 
 Build a bound server with :func:`build_server` (``port=0`` picks a free
@@ -55,11 +61,15 @@ curl transcript.
 from __future__ import annotations
 
 import json
+import logging
+import math
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, HTTPServer
 from urllib.parse import parse_qs, urlsplit
 
 from .._version import package_version
+from ..resilience import DegradedServiceError
 from ..storage.base import (DEFAULT_TENANT, TenantExistsError,
                             UnknownTenantError)
 from .service import QueryService, ServiceError
@@ -69,8 +79,27 @@ from .tenants import QuotaExceededError, TenantManager
 __all__ = ["ServingHTTPServer", "ServingRequestHandler", "build_server",
            "serve"]
 
+logger = logging.getLogger("repro.serving")
+
 #: Default size of the request worker pool.
 DEFAULT_WORKERS = 8
+
+#: Default admission queue: connections accepted beyond the worker
+#: count that wait for a free worker instead of being shed.
+DEFAULT_QUEUE_DEPTH = 16
+
+#: Pre-rendered load-shedding response, written on the listener thread
+#: (no worker, no handler) so an overloaded server still answers fast.
+_SHED_BODY = json.dumps({
+    "error": "server overloaded: admission queue full; retry later",
+    "code": "overloaded",
+}).encode("utf-8")
+_SHED_RESPONSE = (b"HTTP/1.1 503 Service Unavailable\r\n"
+                  b"Content-Type: application/json\r\n"
+                  b"Retry-After: 1\r\n"
+                  b"Connection: close\r\n"
+                  b"Content-Length: " + str(len(_SHED_BODY)).encode()
+                  + b"\r\n\r\n" + _SHED_BODY)
 
 
 class ServingHTTPServer(HTTPServer):
@@ -84,27 +113,85 @@ class ServingHTTPServer(HTTPServer):
     connection for its whole keep-alive lifetime, and
     ``server_close()`` drains the pool so every started response is
     written before shutdown completes.
+
+    Admission is bounded: at most ``workers + queue_depth`` connections
+    are in flight (being served or waiting for a worker).  Beyond that
+    the listener thread itself writes a pre-rendered 503 ``overloaded``
+    response (with ``Retry-After``) and closes the connection — load
+    shedding never waits on a worker, so a saturated pool cannot grow
+    an unbounded backlog of accepted-but-unserved sockets.
     """
 
     def __init__(self, server_address, RequestHandlerClass,
-                 workers: int = DEFAULT_WORKERS):
+                 workers: int = DEFAULT_WORKERS,
+                 queue_depth: int = DEFAULT_QUEUE_DEPTH):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
         self.workers = workers
+        self.queue_depth = queue_depth
+        self._admission_lock = threading.Lock()
+        self._in_flight = 0
+        self._shed_connections = 0
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="serving-worker")
         super().__init__(server_address, RequestHandlerClass)
 
+    @property
+    def capacity(self) -> int:
+        """Maximum connections in flight before shedding starts."""
+        return self.workers + self.queue_depth
+
     def process_request(self, request, client_address) -> None:
+        with self._admission_lock:
+            admitted = self._in_flight < self.capacity
+            if admitted:
+                self._in_flight += 1
+            else:
+                self._shed_connections += 1
+        if not admitted:
+            self._shed(request, client_address)
+            return
         self._pool.submit(self._process_in_worker, request, client_address)
+
+    def _shed(self, request, client_address) -> None:
+        """Refuse one connection on the listener thread (static 503)."""
+        logger.warning("shedding connection from %s:%s: at capacity "
+                       "(%d in flight)", *client_address[:2], self.capacity)
+        try:
+            request.sendall(_SHED_RESPONSE)
+        except OSError:
+            pass  # client already gone; nothing to tell it
+        finally:
+            self.shutdown_request(request)
 
     def _process_in_worker(self, request, client_address) -> None:
         try:
             self.finish_request(request, client_address)
-        except Exception:
-            self.handle_error(request, client_address)
+        except Exception as error:
+            # A handler crash must cost exactly one connection: log it
+            # (with the peer, so floods are attributable) and fall
+            # through to the socket shutdown — never kill the worker
+            # or leave the client hanging on a half-open socket.
+            logger.warning("connection from %s:%s aborted: %s: %s",
+                           *client_address[:2],
+                           type(error).__name__, error)
         finally:
             self.shutdown_request(request)
+            with self._admission_lock:
+                self._in_flight -= 1
+
+    def load_status(self) -> dict:
+        """The ``/healthz`` load section: pool and admission counters."""
+        with self._admission_lock:
+            return {
+                "workers": self.workers,
+                "queue_depth": self.queue_depth,
+                "capacity": self.capacity,
+                "in_flight": self._in_flight,
+                "shed_connections": self._shed_connections,
+            }
 
     def server_close(self) -> None:
         super().server_close()
@@ -158,6 +245,23 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
         stable field clients match on), ``code`` is the machine tag."""
         self._send_json(status, {"error": message, "code": code})
 
+    def _send_degraded(self, error: DegradedServiceError) -> None:
+        """503 ``degraded`` with a ``Retry-After`` header.
+
+        The body carries the tenant and the retry hint too, so clients
+        that cannot read headers (or log aggregators) still see them.
+        """
+        retry_after = max(1, math.ceil(error.retry_after))
+        body = json.dumps({"error": str(error), "code": "degraded",
+                           "tenant": error.tenant,
+                           "retry_after": retry_after}).encode("utf-8")
+        self.send_response(503)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Retry-After", str(retry_after))
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _read_json(self) -> dict:
         """The request body as a JSON object.
 
@@ -195,8 +299,10 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
         return self.service
 
     def _healthz_document(self, params: dict) -> dict:
-        """``GET /healthz``: status + (multi-tenant) storage section."""
+        """``GET /healthz``: liveness — always 200 while the process
+        answers; degradation is reported inline, not via the status."""
         document = {"status": "ok", "version": package_version()}
+        document["load"] = self.server.load_status()
         if self.tenant_manager is None:
             return {**document, **self.service.status()}
         storage = self.tenant_manager.storage_status()
@@ -205,7 +311,18 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
             document.update(self.tenant_manager.service(tenant).status())
             document["tenant"] = tenant
         document["storage"] = storage
+        document["resilience"] = self.tenant_manager.resilience_status()
         return document
+
+    def _readyz(self) -> None:
+        """``GET /readyz``: readiness — 503 while any tenant is
+        degraded or quarantined (or, single-service, not ready)."""
+        if self.tenant_manager is None:
+            ready = bool(self.service.is_ready)
+            document = {"ready": ready}
+        else:
+            ready, document = self.tenant_manager.readiness()
+        self._send_json(200 if ready else 503, document)
 
     def _snapshot_listing(self, tenant: str) -> dict:
         """``GET /snapshot``: versions from the store or metadata tables."""
@@ -255,6 +372,8 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
         try:
             if path == "/healthz":
                 self._send_json(200, self._healthz_document(params))
+            elif path == "/readyz":
+                self._readyz()
             elif path == "/snapshot":
                 tenant = self._tenant_of({}, params)
                 self._send_json(200, self._snapshot_listing(tenant))
@@ -269,6 +388,8 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
             else:
                 self._send_error_json(404, "not-found",
                                       f"unknown path {path}")
+        except DegradedServiceError as error:
+            self._send_degraded(error)
         except UnknownTenantError as error:
             self._send_error_json(404, "unknown-tenant", str(error))
         except ServiceError as error:
@@ -327,6 +448,8 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
                                       f"unknown path {path}")
         except QuotaExceededError as error:
             self._send_error_json(429, "quota-exceeded", str(error))
+        except DegradedServiceError as error:
+            self._send_degraded(error)
         except UnknownTenantError as error:
             self._send_error_json(404, "unknown-tenant", str(error))
         except TenantExistsError as error:
@@ -353,6 +476,8 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
             else:
                 self._send_error_json(404, "not-found",
                                       f"unknown path {path}")
+        except DegradedServiceError as error:
+            self._send_degraded(error)
         except UnknownTenantError as error:
             self._send_error_json(404, "unknown-tenant", str(error))
         except ServiceError as error:
@@ -381,6 +506,8 @@ def build_server(service: QueryService | None = None,
                  verbose: bool = False,
                  workers: int = DEFAULT_WORKERS,
                  tenant_manager: TenantManager | None = None,
+                 queue_depth: int = DEFAULT_QUEUE_DEPTH,
+                 handler_timeout: float | None = None,
                  ) -> ServingHTTPServer:
     """A bound (not yet running) worker-pool HTTP server.
 
@@ -389,14 +516,23 @@ def build_server(service: QueryService | None = None,
     (requests without a tenant route to the ``default`` tenant).
     ``port=0`` binds any free port; read the result from
     ``server.server_address``.  ``workers`` sizes the request pool —
-    each worker owns one keep-alive connection at a time.
+    each worker owns one keep-alive connection at a time —
+    ``queue_depth`` bounds how many more connections may wait for a
+    worker before the listener sheds with 503, and ``handler_timeout``
+    overrides the idle keep-alive socket timeout (seconds).
     """
     if (service is None) == (tenant_manager is None):
         raise ValueError("pass exactly one of service or tenant_manager")
+    attributes = {"service": service, "snapshot_store": snapshot_store,
+                  "tenant_manager": tenant_manager, "verbose": verbose}
+    if handler_timeout is not None:
+        if handler_timeout <= 0:
+            raise ValueError("handler_timeout must be > 0")
+        attributes["timeout"] = float(handler_timeout)
     handler = type("BoundServingRequestHandler", (ServingRequestHandler,),
-                   {"service": service, "snapshot_store": snapshot_store,
-                    "tenant_manager": tenant_manager, "verbose": verbose})
-    return ServingHTTPServer((host, port), handler, workers=workers)
+                   attributes)
+    return ServingHTTPServer((host, port), handler, workers=workers,
+                             queue_depth=queue_depth)
 
 
 def serve(server: ServingHTTPServer,

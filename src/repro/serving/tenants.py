@@ -32,19 +32,43 @@ pending log tail in order.  Because both ingest paths are
 deterministic in (restored state, replayed rows), a recovered
 tenant's answers are bitwise identical to an uninterrupted run
 (``tests/test_crash_recovery.py`` pins this for TDG, HDG and LHIO).
+
+Resilience
+----------
+Storage calls on the ingest path run under the manager's
+:class:`~repro.resilience.RetryPolicy` (transient errors — locked
+database, ``EINTR`` I/O — retried with seeded exponential backoff)
+and, when ``op_deadline`` is set, a per-operation
+:class:`~repro.resilience.Deadline`.  Persistent write-ahead-log
+failure trips the tenant's :class:`~repro.resilience.CircuitBreaker`:
+the tenant enters *degraded* mode — queries keep answering from the
+last finalized estimator while ingest raises
+:class:`~repro.resilience.DegradedServiceError` (503 +
+``Retry-After`` on the wire) — and the breaker's half-open state
+gates one recovery probe per reset period.  Tenants whose recovery
+fails at construction are *quarantined* (with the failure reason)
+instead of refusing to start the whole server; ``retry_recovery``
+re-attempts them.  ``tests/test_resilience.py`` is the chaos suite
+pinning all of this on both backends.
 """
 
 from __future__ import annotations
 
+import logging
 import threading
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..resilience import (CircuitBreaker, Deadline, DegradedServiceError,
+                          RetryPolicy)
 from ..storage.base import (DEFAULT_TENANT, StorageBackend,
                             TenantExistsError, TenantRecord,
                             UnknownTenantError)
 from .service import QueryService, ServiceError
+
+logger = logging.getLogger("repro.serving")
 
 #: Tenant-config keys forwarded to the QueryService constructor.
 _SERVICE_CONFIG_KEYS = ("mechanism", "epsilon", "seed", "refinalize_every",
@@ -61,10 +85,17 @@ class _TenantRuntime:
 
     record: TenantRecord
     service: QueryService
+    #: Gates the tenant's degraded-mode recovery probes.
+    breaker: CircuitBreaker
     #: Serializes WAL-append+apply and capture+record (see module doc).
     lock: threading.RLock = field(default_factory=threading.RLock)
     #: Last write-ahead-log sequence applied to the in-memory service.
     last_seq: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """Whether ingest is currently gated by the breaker."""
+        return self.breaker.state != "closed"
 
 
 def service_from_config(config: dict) -> QueryService:
@@ -93,21 +124,80 @@ class TenantManager:
         created with this config — the tenant every request without an
         explicit tenant name routes to, which is what keeps the
         single-tenant wire format working.
+    retry_policy:
+        Retry schedule for storage calls on the ingest/snapshot path
+        (default: 3 attempts, exponential backoff with seeded jitter).
+        Pass :meth:`RetryPolicy.no_retry` to fail fast.
+    breaker_threshold / breaker_reset:
+        Consecutive write-ahead-log failures that trip a tenant's
+        circuit breaker, and the open-state duration before one
+        recovery probe is allowed through.
+    op_deadline:
+        Wall-clock budget in seconds for one storage operation
+        including its retries (``None`` = unbounded).
+    clock:
+        Time source for breakers and deadlines; injectable for tests.
     """
 
     def __init__(self, backend: StorageBackend,
-                 default_config: dict | None = None):
+                 default_config: dict | None = None, *,
+                 retry_policy: RetryPolicy | None = None,
+                 breaker_threshold: int = 3,
+                 breaker_reset: float = 30.0,
+                 op_deadline: float | None = None,
+                 clock=time.monotonic):
         self.backend = backend
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy())
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset = breaker_reset
+        self.op_deadline = op_deadline
+        self._clock = clock
         self._registry_lock = threading.RLock()
         self._runtimes: dict[str, _TenantRuntime] = {}
+        #: Tenants whose recovery failed: name -> failure document.
+        self._quarantined: dict[str, dict] = {}
         for record in backend.list_tenants():
-            self._runtimes[record.name] = self._recover(record)
-        if default_config is not None and DEFAULT_TENANT not in self._runtimes:
+            self._try_recover(record)
+        if default_config is not None and not (
+                DEFAULT_TENANT in self._runtimes
+                or DEFAULT_TENANT in self._quarantined):
             self.create_tenant(DEFAULT_TENANT, default_config)
 
     # ------------------------------------------------------------------
     # Recovery
     # ------------------------------------------------------------------
+    def _new_breaker(self) -> CircuitBreaker:
+        return CircuitBreaker(failure_threshold=self.breaker_threshold,
+                              reset_timeout=self.breaker_reset,
+                              clock=self._clock)
+
+    def _op_deadline(self) -> Deadline | None:
+        if self.op_deadline is None:
+            return None
+        return Deadline.after(self.op_deadline, clock=self._clock)
+
+    def _try_recover(self, record: TenantRecord) -> bool:
+        """Recover one tenant, quarantining it on failure.
+
+        A tenant whose snapshot is unreadable or whose log replay
+        raises must not take the whole server down with it: the
+        failure is recorded (name, error, reason) and every request
+        for that tenant answers 503 until ``retry_recovery`` succeeds
+        or an operator deletes the tenant.
+        """
+        try:
+            self._runtimes[record.name] = self._recover(record)
+        except Exception as error:
+            logger.error("quarantining tenant %r: recovery failed: %s: %s",
+                         record.name, type(error).__name__, error)
+            self._quarantined[record.name] = {
+                "error": f"{type(error).__name__}: {error}",
+                "reason": "recovery failed",
+            }
+            return False
+        return True
+
     def _recover(self, record: TenantRecord) -> _TenantRuntime:
         """Newest snapshot (if any) + write-ahead-log tail replay."""
         try:
@@ -125,7 +215,20 @@ class TenantManager:
             service.ingest(entry.rows, entry.domain_size)
             last_seq = max(last_seq, entry.seq)
         return _TenantRuntime(record=record, service=service,
+                              breaker=self._new_breaker(),
                               last_seq=last_seq)
+
+    def retry_recovery(self, name: str) -> bool:
+        """Re-attempt a quarantined tenant's recovery; True on success."""
+        with self._registry_lock:
+            if name not in self._quarantined:
+                raise UnknownTenantError(
+                    f"tenant {name!r} is not quarantined")
+            record = self.backend.get_tenant(name)
+            if self._try_recover(record):
+                del self._quarantined[name]
+                return True
+            return False
 
     # ------------------------------------------------------------------
     # Registry
@@ -133,7 +236,14 @@ class TenantManager:
     def _runtime(self, tenant: str) -> _TenantRuntime:
         with self._registry_lock:
             runtime = self._runtimes.get(tenant)
+            quarantined = self._quarantined.get(tenant)
         if runtime is None:
+            if quarantined is not None:
+                raise DegradedServiceError(
+                    f"tenant {tenant!r} is quarantined "
+                    f"({quarantined['error']}); retry recovery or delete "
+                    "the tenant", retry_after=self.breaker_reset,
+                    tenant=tenant)
             raise UnknownTenantError(f"unknown tenant {tenant!r}")
         return runtime
 
@@ -161,23 +271,55 @@ class TenantManager:
         config = dict(config)
         service = service_from_config(config)  # validates the config
         with self._registry_lock:
-            if name in self._runtimes:
+            if name in self._runtimes or name in self._quarantined:
                 raise TenantExistsError(f"tenant {name!r} already exists")
             record = self.backend.create_tenant(name, config)
-            self._runtimes[name] = _TenantRuntime(record=record,
-                                                  service=service)
+            self._runtimes[name] = _TenantRuntime(
+                record=record, service=service,
+                breaker=self._new_breaker())
         return record
 
     def delete_tenant(self, name: str) -> None:
-        """Drop a tenant: its service, snapshots and log entries."""
+        """Drop a tenant: its service, snapshots and log entries.
+
+        Deleting a *quarantined* tenant is allowed — it is the
+        operator's way out when recovery cannot be repaired.
+        """
         with self._registry_lock:
-            if name not in self._runtimes:
+            if name in self._quarantined:
+                del self._quarantined[name]
+            elif name in self._runtimes:
+                del self._runtimes[name]
+            else:
                 raise UnknownTenantError(f"unknown tenant {name!r}")
-            del self._runtimes[name]
         self.backend.delete_tenant(name)
+
+    def quarantined_tenants(self) -> dict[str, dict]:
+        """Quarantined tenant names with their failure documents."""
+        with self._registry_lock:
+            return {name: dict(info)
+                    for name, info in sorted(self._quarantined.items())}
+
+    def degraded_tenants(self) -> list[str]:
+        """Live tenants whose breaker is currently open or half-open."""
+        with self._registry_lock:
+            runtimes = dict(self._runtimes)
+        return sorted(name for name, runtime in runtimes.items()
+                      if runtime.degraded)
 
     def describe_tenant(self, name: str) -> dict:
         """Admin document for one tenant (``GET /tenants/<name>``)."""
+        with self._registry_lock:
+            quarantined = self._quarantined.get(name)
+        if quarantined is not None:
+            record = self.backend.get_tenant(name)
+            return {
+                "name": name,
+                "created_at": record.created_at,
+                "config": dict(record.config),
+                "state": "quarantined",
+                "quarantine": dict(quarantined),
+            }
         runtime = self._runtime(name)
         config = dict(runtime.record.config)
         quota = config.get("quota")
@@ -185,7 +327,9 @@ class TenantManager:
             "name": name,
             "created_at": runtime.record.created_at,
             "config": config,
+            "state": "degraded" if runtime.degraded else "serving",
             "status": runtime.service.status(),
+            "breaker": runtime.breaker.status(),
             "quota": quota,
             "quota_remaining": (None if quota is None else
                                 max(0, int(quota)
@@ -196,13 +340,14 @@ class TenantManager:
         }
 
     def list_tenants(self) -> list[dict]:
-        """Summary rows for ``GET /tenants``."""
+        """Summary rows for ``GET /tenants`` (quarantined ones included)."""
         rows = []
         for name in self.tenant_names():
             runtime = self._runtime(name)
             status = runtime.service.status()
             rows.append({
                 "name": name,
+                "state": "degraded" if runtime.degraded else "serving",
                 "mechanism": status["mechanism"],
                 "epsilon": status["epsilon"],
                 "mode": status["mode"],
@@ -211,6 +356,10 @@ class TenantManager:
                 "quota": runtime.record.config.get("quota"),
                 "pending_ingest_log": self.backend.ingest_log_depth(name),
             })
+        for name, info in self.quarantined_tenants().items():
+            rows.append({"name": name, "state": "quarantined",
+                         "quarantine": info})
+        rows.sort(key=lambda row: row["name"])
         return rows
 
     # ------------------------------------------------------------------
@@ -236,8 +385,33 @@ class TenantManager:
                     f"tenant {tenant!r} quota exceeded: "
                     f"{runtime.service.reports_ingested} ingested + "
                     f"{len(batch)} in batch > quota {int(quota)}")
-            seq = self.backend.append_ingest(tenant, batch.tolist(),
-                                            domain_size)
+            if not runtime.breaker.allow():
+                raise DegradedServiceError(
+                    f"tenant {tenant!r} is degraded: write-ahead log "
+                    "unavailable; queries still answer from the last "
+                    "finalized estimator",
+                    retry_after=runtime.breaker.retry_after() or 1.0,
+                    tenant=tenant)
+            payload = batch.tolist()
+            try:
+                seq = self.retry_policy.call(
+                    lambda: self.backend.append_ingest(tenant, payload,
+                                                       domain_size),
+                    deadline=self._op_deadline(),
+                    operation=f"WAL append for tenant {tenant!r}")
+            except Exception as error:
+                runtime.breaker.record_failure()
+                logger.warning(
+                    "WAL append failed for tenant %r (breaker %s): %s: %s",
+                    tenant, runtime.breaker.state,
+                    type(error).__name__, error)
+                raise DegradedServiceError(
+                    f"tenant {tenant!r}: write-ahead append failed "
+                    f"({type(error).__name__}: {error}); batch not "
+                    "ingested",
+                    retry_after=runtime.breaker.retry_after() or 1.0,
+                    tenant=tenant) from error
+            runtime.breaker.record_success()
             try:
                 receipt = runtime.service.ingest(batch, domain_size)
             except BaseException:
@@ -263,8 +437,11 @@ class TenantManager:
         with runtime.lock:
             document = runtime.service.state_dict()
             wal_seq = runtime.last_seq
-        record = self.backend.save_snapshot(tenant, document,
-                                            wal_seq=wal_seq)
+        record = self.retry_policy.call(
+            lambda: self.backend.save_snapshot(tenant, document,
+                                               wal_seq=wal_seq),
+            deadline=self._op_deadline(),
+            operation=f"snapshot save for tenant {tenant!r}")
         self.backend.prune_ingest(tenant, record.wal_seq)
         keep_last = runtime.record.config.get("keep_last")
         if keep_last is not None:
@@ -279,6 +456,31 @@ class TenantManager:
         description = self.backend.describe()
         description["tenants"] = len(self.tenant_names())
         return description
+
+    def resilience_status(self) -> dict:
+        """The ``/healthz`` resilience section."""
+        with self._registry_lock:
+            runtimes = dict(self._runtimes)
+        return {
+            "retry_policy": self.retry_policy.describe(),
+            "op_deadline": self.op_deadline,
+            "degraded_tenants": self.degraded_tenants(),
+            "quarantined_tenants": self.quarantined_tenants(),
+            "breakers": {name: runtime.breaker.status()
+                         for name, runtime in sorted(runtimes.items())},
+        }
+
+    def readiness(self) -> tuple[bool, dict]:
+        """The ``/readyz`` verdict: ready only when no tenant is
+        quarantined and every breaker is closed."""
+        degraded = self.degraded_tenants()
+        quarantined = sorted(self.quarantined_tenants())
+        ready = not degraded and not quarantined
+        return ready, {
+            "ready": ready,
+            "degraded_tenants": degraded,
+            "quarantined_tenants": quarantined,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"TenantManager({self.backend.name}: "

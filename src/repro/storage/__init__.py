@@ -19,9 +19,10 @@ docs/storage.md for the backend matrix, durability guarantees and
 recovery semantics.
 """
 
-from .base import (DEFAULT_TENANT, IngestLogEntry, SnapshotRecord,
-                   StorageBackend, StorageError, TenantExistsError,
-                   TenantRecord, UnknownTenantError, validate_tenant_name)
+from .base import (DEFAULT_TENANT, CorruptEntryError, IngestLogEntry,
+                   SnapshotRecord, StorageBackend, StorageError,
+                   TenantExistsError, TenantRecord, UnknownTenantError,
+                   validate_tenant_name)
 from .directory import DirectoryBackend
 from .sqlite import SQLiteBackend
 
@@ -32,22 +33,33 @@ BACKENDS = {
 }
 
 
-def open_backend(backend: str, location: str) -> StorageBackend:
+def open_backend(backend: str, location: str, *,
+                 busy_timeout_ms: int | None = None) -> StorageBackend:
     """Build a storage backend by name.
 
     ``location`` is the store directory for ``"json"`` and the
-    database file path for ``"sqlite"``.
+    database file path for ``"sqlite"``.  ``busy_timeout_ms``
+    configures the SQLite lock-wait budget (``repro serve
+    --busy-timeout``); setting it for a backend without lock waiting
+    is an error rather than a silent no-op.
     """
     try:
         factory = BACKENDS[backend]
     except KeyError:
         raise ValueError(f"unknown storage backend {backend!r}; "
                          f"known: {sorted(BACKENDS)}") from None
+    if busy_timeout_ms is not None:
+        if backend != "sqlite":
+            raise ValueError(
+                f"busy_timeout_ms only applies to the sqlite backend, "
+                f"not {backend!r}")
+        return factory(location, busy_timeout_ms=busy_timeout_ms)
     return factory(location)
 
 
 __all__ = [
     "BACKENDS",
+    "CorruptEntryError",
     "DEFAULT_TENANT",
     "DirectoryBackend",
     "IngestLogEntry",

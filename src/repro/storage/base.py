@@ -47,6 +47,16 @@ class StorageError(RuntimeError):
     """A storage operation the backend cannot perform."""
 
 
+class CorruptEntryError(StorageError):
+    """A stored entry cannot be parsed and is not a discardable tail.
+
+    A corrupt entry at the *tail* of a write-ahead log is a torn final
+    write — it was never acknowledged, so backends quarantine and skip
+    it.  A corrupt entry in the *middle* of the sequence means
+    acknowledged data is gone; that is this error, and it is permanent
+    (:func:`repro.resilience.classify_error`)."""
+
+
 class UnknownTenantError(StorageError):
     """The named tenant does not exist in this backend."""
 

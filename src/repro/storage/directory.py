@@ -40,11 +40,16 @@ import tempfile
 from datetime import datetime, timezone
 from pathlib import Path
 
+import logging
+
 from ..serving.snapshot import SnapshotStore, fsync_directory
-from .base import (DEFAULT_TENANT, IngestLogEntry, SnapshotRecord,
-                   StorageBackend, TenantExistsError, TenantRecord,
-                   UnknownTenantError, snapshot_meta_from_document, utc_now,
+from .base import (DEFAULT_TENANT, CorruptEntryError, IngestLogEntry,
+                   SnapshotRecord, StorageBackend, TenantExistsError,
+                   TenantRecord, UnknownTenantError,
+                   snapshot_meta_from_document, utc_now,
                    validate_tenant_name)
+
+logger = logging.getLogger("repro.storage")
 
 #: Registry file name at the backend root.
 TENANTS_FILE = "tenants.json"
@@ -290,11 +295,32 @@ class DirectoryBackend(StorageBackend):
         self._require_tenant(tenant)
         directory = self._wal_dir(tenant)
         entries = []
-        for seq in self._wal_seqs(tenant):
+        seqs = self._wal_seqs(tenant)
+        for seq in seqs:
             if seq <= after_seq:
                 continue
-            raw = json.loads(
-                (directory / _WAL_TEMPLATE.format(seq=seq)).read_text())
+            path = directory / _WAL_TEMPLATE.format(seq=seq)
+            try:
+                raw = json.loads(path.read_text())
+            except (ValueError, OSError) as error:
+                # A corrupt *tail* entry is a torn final write: the
+                # append never returned, the batch was never
+                # acknowledged, so quarantine the file and move on.  A
+                # corrupt entry mid-sequence would silently drop
+                # acknowledged reports — that is permanent data loss
+                # and must stop recovery.
+                if seq == seqs[-1]:
+                    torn = path.with_name(path.name + ".torn")
+                    path.replace(torn)
+                    logger.warning(
+                        "quarantined torn ingest-log tail %s for tenant "
+                        "%r (%s)", torn.name, tenant, error)
+                    continue
+                raise CorruptEntryError(
+                    f"ingest-log entry seq={seq} for tenant {tenant!r} is "
+                    f"corrupt but not the tail ({error}); acknowledged "
+                    "reports would be lost — refusing to recover"
+                ) from error
             entries.append(IngestLogEntry(
                 tenant=tenant, seq=seq, rows=raw["rows"],
                 domain_size=raw.get("domain_size"),

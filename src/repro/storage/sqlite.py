@@ -136,7 +136,17 @@ class SQLiteBackend(StorageBackend):
 
     name = "sqlite"
 
-    def __init__(self, path: str | Path, busy_timeout_ms: int = 30_000):
+    #: Default lock-wait budget; override per store with
+    #: ``busy_timeout_ms`` / ``open_backend(..., busy_timeout_ms=...)``
+    #: / ``repro serve --busy-timeout`` (docs/storage.md discusses the
+    #: interaction with the serving tier's retry policy).
+    DEFAULT_BUSY_TIMEOUT_MS = 30_000
+
+    def __init__(self, path: str | Path,
+                 busy_timeout_ms: int = DEFAULT_BUSY_TIMEOUT_MS):
+        if busy_timeout_ms < 0:
+            raise ValueError("busy_timeout_ms must be >= 0")
+        self.busy_timeout_ms = int(busy_timeout_ms)
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
@@ -148,7 +158,7 @@ class SQLiteBackend(StorageBackend):
             connection.execute("PRAGMA journal_mode=WAL")
             connection.execute("PRAGMA foreign_keys=ON")
             connection.execute("PRAGMA synchronous=NORMAL")
-            connection.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
+            connection.execute(f"PRAGMA busy_timeout={self.busy_timeout_ms}")
             connection.executescript(_SCHEMA)
             connection.commit()
 

@@ -533,6 +533,73 @@ def test_build_server_workers_argument(serving_dataset):
         server.server_close()
 
 
+def test_handler_crash_releases_worker_and_logs_peer(serving_dataset, caplog):
+    import logging
+    import socket
+
+    service = QueryService("TDG", 1.0, seed=9, domain_size=16)
+    service.ingest(serving_dataset.values[:200])
+    service.refinalize()
+    server = build_server(service, port=0, workers=1)
+    handler_cls = server.RequestHandlerClass
+    original_do_get = handler_cls.do_GET
+
+    def crashing_do_get(self):
+        if self.path == "/boom":
+            raise RuntimeError("injected handler crash")
+        original_do_get(self)
+
+    handler_cls.do_GET = crashing_do_get
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        port = server.server_address[1]
+        with caplog.at_level(logging.WARNING, logger="repro.serving"):
+            crasher = socket.create_connection(("127.0.0.1", port),
+                                               timeout=10)
+            crasher.sendall(b"GET /boom HTTP/1.1\r\nHost: x\r\n\r\n")
+            # The socket is shut down cleanly (EOF), not left hanging.
+            assert crasher.recv(4096) == b""
+            crasher.close()
+        assert any("aborted" in record.message
+                   and "injected handler crash" in record.getMessage()
+                   for record in caplog.records)
+        # The single pool worker survived the crash and keeps serving.
+        for _ in range(3):
+            assert _http(port, "/healthz")["status"] == "ok"
+        # The crashed connection released its admission slot (the last
+        # healthz keep-alive may still be draining, hence <= 1).
+        assert server.load_status()["in_flight"] <= 1
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_idle_keep_alive_connection_releases_worker(serving_dataset):
+    import socket
+
+    service = QueryService("TDG", 1.0, seed=9, domain_size=16)
+    service.ingest(serving_dataset.values[:200])
+    service.refinalize()
+    server = build_server(service, port=0, workers=1, handler_timeout=0.3)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        port = server.server_address[1]
+        # A stalled keep-alive client holds the only worker...
+        staller = socket.create_connection(("127.0.0.1", port), timeout=10)
+        staller.sendall(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        response = staller.recv(65536)
+        assert b"200" in response.split(b"\r\n", 1)[0]
+        # ...then idles.  The idle timeout must release the worker so
+        # this concurrent request is answered, not starved forever.
+        assert _http(port, "/healthz")["status"] == "ok"
+        staller.close()
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
 def test_http_not_ready_is_conflict(tmp_path):
     service = QueryService("TDG", 1.0, domain_size=16)
     server = build_server(service, port=0)

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""AST lint for silent error handling in the library source.
+
+Walks the given files (or all ``*.py`` under given directories) and
+flags the two patterns that make failures invisible:
+
+1. **Bare excepts** — ``except:`` catches everything including
+   ``KeyboardInterrupt`` and ``SystemExit``; the resilience layer
+   depends on errors reaching :func:`repro.resilience.classify_error`,
+   not vanishing.
+2. **Swallowed broad excepts** — ``except Exception:`` (or
+   ``BaseException``) whose body does nothing: only ``pass``/``...``.
+   Catching broadly is fine *when the handler acts* (logs, converts,
+   re-raises, falls back); catching broadly and discarding is not.
+
+A handler can be allowlisted with a trailing ``# lint: silent-except``
+comment on its ``except`` line when silence is the documented intent
+(e.g. best-effort cleanup where the resource may already be gone).
+
+Usage: python tools/check_error_handling.py src tools benchmarks
+Exit status is non-zero when any violation is found.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Trailing comment that allowlists one except handler.
+ALLOW_MARKER = "# lint: silent-except"
+
+#: Exception names considered "broad": swallowing these silently hides
+#: every failure mode at once.
+BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def collect_files(arguments: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler catches Exception/BaseException (or a tuple
+    containing one of them)."""
+    node = handler.type
+    if node is None:
+        return True
+    types = node.elts if isinstance(node, ast.Tuple) else [node]
+    for item in types:
+        if isinstance(item, ast.Name) and item.id in BROAD_NAMES:
+            return True
+        if isinstance(item, ast.Attribute) and item.attr in BROAD_NAMES:
+            return True
+    return False
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body does nothing: only pass/... statements."""
+    for statement in handler.body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if (isinstance(statement, ast.Expr)
+                and isinstance(statement.value, ast.Constant)
+                and statement.value.value is Ellipsis):
+            continue
+        return False
+    return True
+
+
+def check_file(path: Path) -> list[str]:
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return [f"{path}:{error.lineno}: cannot parse: {error.msg}"]
+    lines = source.splitlines()
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+        if ALLOW_MARKER in line:
+            continue
+        if node.type is None:
+            problems.append(
+                f"{path}:{node.lineno}: bare 'except:' — name the "
+                "exception types (or 'except Exception' with a handler "
+                "that acts)")
+        elif _is_broad(node) and _swallows(node):
+            problems.append(
+                f"{path}:{node.lineno}: 'except "
+                f"{ast.unparse(node.type)}' with an empty body silently "
+                "swallows every failure — log, convert or re-raise "
+                f"(or annotate '{ALLOW_MARKER}')")
+    return problems
+
+
+def main(arguments: list[str]) -> int:
+    if not arguments:
+        print("usage: check_error_handling.py <file-or-directory>...",
+              file=sys.stderr)
+        return 2
+    files = collect_files(arguments)
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(f"checked {len(files)} file(s): "
+          f"{len(problems)} silent-error problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
