@@ -134,31 +134,41 @@ class HDG(PairwiseBatchAnswering, RangeQueryMechanism):
         self._acc_2d = {}
         self._total_reports = 0
 
+    def _ensure_layout(self, planning_users: int | None) -> None:
+        if self.chosen_g1 is not None:
+            return
+        d, c = self._n_attributes, self._domain_size
+        if d < 2:
+            raise ValueError(f"{self.name} requires at least 2 attributes")
+        pairs = list(combinations(range(d), 2))
+        if self.granularities is not None:
+            g1, g2 = int(self.granularities[0]), int(self.granularities[1])
+            if g1 < g2:
+                raise ValueError(
+                    f"g1 ({g1}) must be at least g2 ({g2}) so the consistency "
+                    "buckets align")
+        else:
+            if planning_users is None:
+                raise ValueError(
+                    "total_users is required to derive the guideline "
+                    "granularities before the first batch")
+            planning = choose_granularities_hdg(
+                self.epsilon, planning_users, d, c,
+                alpha1=self.alpha1, alpha2=self.alpha2, sigma=self.sigma)
+            g1, g2 = planning.g1, planning.g2
+        self.chosen_g1, self.chosen_g2 = g1, g2
+        self.grids_1d = {attribute: Grid1D(attribute, c, g1)
+                         for attribute in range(d)}
+        self.grids_2d = {pair: Grid2D(pair, c, g2) for pair in pairs}
+        self._acc_1d = {attribute: None for attribute in range(d)}
+        self._acc_2d = {pair: None for pair in pairs}
+
     def _partial_fit(self, dataset: Dataset, total_users: int | None) -> None:
         d = dataset.n_attributes
         if d < 2:
             raise ValueError("HDG requires at least 2 attributes")
-        c = dataset.domain_size
         pairs = list(combinations(range(d), 2))
-
-        if self.chosen_g1 is None:
-            if self.granularities is not None:
-                g1, g2 = int(self.granularities[0]), int(self.granularities[1])
-                if g1 < g2:
-                    raise ValueError(
-                        f"g1 ({g1}) must be at least g2 ({g2}) so the consistency "
-                        "buckets align")
-            else:
-                planning = choose_granularities_hdg(
-                    self.epsilon, total_users or dataset.n_users, d, c,
-                    alpha1=self.alpha1, alpha2=self.alpha2, sigma=self.sigma)
-                g1, g2 = planning.g1, planning.g2
-            self.chosen_g1, self.chosen_g2 = g1, g2
-            self.grids_1d = {attribute: Grid1D(attribute, c, g1)
-                             for attribute in range(d)}
-            self.grids_2d = {pair: Grid2D(pair, c, g2) for pair in pairs}
-            self._acc_1d = {attribute: None for attribute in range(d)}
-            self._acc_2d = {pair: None for pair in pairs}
+        self._ensure_layout(total_users or dataset.n_users)
         g1, g2 = self.chosen_g1, self.chosen_g2
 
         # Split this batch's population between 1-D and 2-D duties (the σ
@@ -267,6 +277,30 @@ class HDG(PairwiseBatchAnswering, RangeQueryMechanism):
         self._response_indexes = {
             pair: (matrix, SummedAreaTable(matrix))
             for pair, matrix in self.response_matrices.items()}
+
+    # ------------------------------------------------------------------
+    # Shared-memory accumulator layout (see docs/ingest.md)
+    # ------------------------------------------------------------------
+    def accumulator_slots(self) -> list[tuple[str, int]]:
+        if self.chosen_g1 is None:
+            raise RuntimeError(
+                "aggregation layout not prepared; call prepare_aggregation "
+                "or ingest a batch first")
+        g1, g2 = self.chosen_g1, self.chosen_g2
+        slots = [(f"1d:{attribute}", g1)
+                 for attribute in sorted(self._acc_1d)]
+        slots.extend((f"2d:{a},{b}", g2 * g2)
+                     for (a, b) in sorted(self._acc_2d))
+        return slots
+
+    def _accumulator_ref(self, slot: str) -> tuple[dict, object]:
+        section, _, subkey = slot.partition(":")
+        if section == "1d":
+            return self._acc_1d, int(subkey)
+        if section == "2d":
+            a, _, b = subkey.partition(",")
+            return self._acc_2d, (int(a), int(b))
+        raise KeyError(slot)
 
     # ------------------------------------------------------------------
     # Shard-state serialization (see docs/architecture.md for the schema)

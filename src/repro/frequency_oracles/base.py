@@ -60,12 +60,19 @@ class SupportAccumulator:
     # Shard algebra
     # ------------------------------------------------------------------
     def merge(self, other: "SupportAccumulator") -> "SupportAccumulator":
-        """Add another batch's counts into this accumulator (in place)."""
+        """Add another batch's counts into this accumulator (in place).
+
+        The addition writes into the existing ``supports`` buffer rather
+        than rebinding it, so an accumulator whose buffer is a view over
+        external storage (the distributed ingest tier binds slots to
+        ``multiprocessing.shared_memory`` blocks) keeps publishing through
+        that view across merges.
+        """
         if other.supports.shape != self.supports.shape:
             raise ValueError(
                 f"cannot merge accumulators over different candidate sets: "
                 f"{self.supports.shape} vs {other.supports.shape}")
-        self.supports = self.supports + other.supports
+        self.supports += other.supports
         self.n_reports += other.n_reports
         return self
 

@@ -1,0 +1,104 @@
+"""Consistent-hash routing of report keys onto collector workers.
+
+The ingest tier assigns every report a *key* (its global submission
+index) and routes it to one of ``n_workers`` collector processes.  The
+router is a classic consistent-hash ring with virtual nodes: each
+worker owns ``replicas`` pseudo-random points on a 64-bit ring, and a
+key goes to the owner of the first ring point at or after the key's
+hash (wrapping around).
+
+Two properties matter here and are pinned by ``tests/test_ingest_routing.py``:
+
+* **Stability** — assignment is a pure function of ``(key, seed,
+  n_workers, replicas)``.  The hash is an explicit splitmix64-style
+  mixer, *not* Python's builtin ``hash`` (which is salted per process
+  and would break cross-process and cross-restart determinism).
+* **Minimal movement** — growing the ring from ``N`` to ``N + 1``
+  workers leaves existing workers' ring points untouched, so only the
+  keys whose successor point belongs to the new worker move:
+  ``≈ 1/(N+1)`` of the key space in expectation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: 64-bit golden-ratio increment used by the splitmix64 mixer.
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_2 = np.uint64(0x94D049BB133111EB)
+#: Salt separating the key-hash stream from the ring-point stream.
+_KEY_STREAM = np.uint64(0xA5A5A5A5A5A5A5A5)
+
+
+def mix64(values: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 finalizer over a uint64 array.
+
+    Deterministic across processes and Python versions; arithmetic
+    wraps modulo 2^64 (NumPy unsigned overflow semantics).
+    """
+    z = np.asarray(values, dtype=np.uint64) + _GOLDEN
+    z = (z ^ (z >> np.uint64(30))) * _MIX_1
+    z = (z ^ (z >> np.uint64(27))) * _MIX_2
+    return z ^ (z >> np.uint64(31))
+
+
+class ConsistentHashRouter:
+    """Maps integer report keys onto ``n_workers`` via a hash ring.
+
+    Parameters
+    ----------
+    n_workers:
+        Number of collector workers (ring members).
+    replicas:
+        Virtual nodes per worker.  More replicas smooth the load split
+        at the cost of a larger (still tiny) ring.
+    seed:
+        Ring salt.  Routers built with the same ``(n_workers,
+        replicas, seed)`` agree on every assignment, in any process.
+    """
+
+    def __init__(self, n_workers: int, *, replicas: int = 64, seed: int = 0):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.n_workers = int(n_workers)
+        self.replicas = int(replicas)
+        self.seed = int(seed)
+        seed_word = np.uint64(self.seed & 0xFFFFFFFFFFFFFFFF)
+        self._key_salt = mix64(np.array([seed_word ^ _KEY_STREAM]))[0]
+        owners = np.repeat(np.arange(self.n_workers, dtype=np.uint64),
+                           self.replicas)
+        replica_ids = np.tile(np.arange(self.replicas, dtype=np.uint64),
+                              self.n_workers)
+        ring_salt = mix64(np.array([seed_word]))[0]
+        points = mix64(mix64(owners + ring_salt) + replica_ids * _GOLDEN)
+        order = np.argsort(points, kind="stable")
+        self._points = points[order]
+        self._owners = owners[order].astype(np.int64)
+
+    def assign(self, keys) -> np.ndarray:
+        """Worker index for each key (vectorised ring lookup)."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        hashes = mix64(keys + self._key_salt)
+        # First ring point at or after the hash, wrapping past the top.
+        positions = np.searchsorted(self._points, hashes, side="left")
+        positions[positions == self._points.size] = 0
+        return self._owners[positions]
+
+    def worker_for(self, key: int) -> int:
+        """Worker index for one key."""
+        return int(self.assign(np.array([key], dtype=np.uint64))[0])
+
+    def split(self, keys) -> dict[int, np.ndarray]:
+        """Positions of ``keys`` grouped by assigned worker.
+
+        Returns ``{worker: index array into keys}`` with each index
+        array in ascending order, so per-worker sub-batches preserve
+        the submission order of their rows.
+        """
+        owners = self.assign(keys)
+        return {worker: np.flatnonzero(owners == worker)
+                for worker in range(self.n_workers)
+                if bool(np.any(owners == worker))}

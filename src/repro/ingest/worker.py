@@ -1,0 +1,195 @@
+"""Collector worker process: the ingest tier's per-core unit.
+
+A worker owns one shared-memory block and one inbound queue.  In
+**stream** mode it holds a private mechanism instance (seeded with the
+same ``shard_seed`` convention as :func:`repro.pipeline.parallel_fit`)
+whose accumulator slots are bound onto the shared block, so every
+``partial_fit`` lands directly in memory the merge coordinator can
+read.  In **refit** mode it appends raw rows (with their global keys)
+to a shared row log instead.
+
+Protocol over the worker's inbox queue (FIFO, one consumer):
+
+``("batch", seq, rows)`` / ``("batch", seq, keys, rows)``
+    Ingest one routed sub-batch.  ``seq`` is the tier-wide submission
+    sequence number; rows arrive in submission order.
+``("state",)``
+    Reply on the outbox with ``("state", index, payload)`` where the
+    payload carries the collector's ``shard_state`` and RNG state
+    (stream) or ``None`` (refit — the rows already live in shared
+    memory).  Used for snapshots.
+``("stop",)``
+    Exit the loop cleanly.
+
+The worker publishes its header (report totals, batches done, last
+sequence) under the per-worker lock after every batch; holding the
+lock across the whole ``partial_fit`` is what gives the coordinator
+batch-granular consistent cuts.
+
+Determinism: a stream worker's accumulator state is a pure function of
+``(worker seed, ordered sub-batch sequence)`` — exactly the state the
+same sub-batches produce through single-process ``partial_fit`` — so
+merging worker blocks reproduces the single-process shard plan bit for
+bit (``tests/test_distributed_ingest.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import traceback
+
+import numpy as np
+
+from ..baselines import CALM, HIO, LHIO, MSW, Uniform
+from ..core import HDG, IHDG, ITDG, TDG
+from ..datasets import Dataset
+from .shared_state import (HEADER_BATCHES_DONE, HEADER_FIXED_FIELDS,
+                           HEADER_LAST_SEQ, HEADER_TOTAL_REPORTS,
+                           AccumulatorLayout, SharedAccumulatorBlock,
+                           SharedRowBuffer)
+
+#: Mechanism classes by paper name, importable from a freshly spawned
+#: worker without touching :mod:`repro.serving` (avoids an import cycle
+#: with the service layer, which itself imports this package).
+MECHANISM_CLASSES: dict[str, type] = {
+    "TDG": TDG,
+    "HDG": HDG,
+    "ITDG": ITDG,
+    "IHDG": IHDG,
+    "CALM": CALM,
+    "HIO": HIO,
+    "LHIO": LHIO,
+    "MSW": MSW,
+    "Uni": Uniform,
+}
+
+
+@dataclasses.dataclass
+class WorkerSpec:
+    """Everything a worker process needs to build its collector.
+
+    Plain data (picklable) so workers start under ``fork`` and
+    ``spawn`` alike.
+    """
+
+    index: int
+    mode: str  # "stream" | "refit"
+    mechanism: str
+    epsilon: float
+    seed: int | None
+    mechanism_kwargs: dict
+    n_attributes: int
+    domain_size: int
+    #: Population fed to the granularity guideline (resolved once by
+    #: the tier so every worker pins the same layout as the template).
+    planning_users: int | None
+    #: ``partial_fit``'s total_users argument (service-level setting).
+    total_users: int | None
+    shm_name: str
+    slots: list[tuple[str, int]] | None  # stream mode
+    row_capacity: int | None  # refit mode
+    #: Restored per-worker state (snapshot recovery): ``{"shard_state":
+    #: ..., "rng_state": ...}`` or None for a fresh worker.
+    initial_state: dict | None = None
+    #: Whether to unregister the attached segment from this process's
+    #: resource tracker (spawn start method only; see shared_state).
+    unregister_shm: bool = False
+
+
+def worker_main(spec: WorkerSpec, inbox, outbox, lock) -> None:
+    """Process entry point: report fatal errors, then re-raise."""
+    try:
+        _run_worker(spec, inbox, outbox, lock)
+    except BaseException:
+        outbox.put(("error", spec.index, traceback.format_exc()))
+        raise
+
+
+def _build_collector(spec: WorkerSpec):
+    """The worker's mechanism instance, layout pinned, state restored."""
+    factory = MECHANISM_CLASSES[spec.mechanism]
+    collector = factory(spec.epsilon, seed=spec.seed,
+                        **spec.mechanism_kwargs)
+    if spec.initial_state is not None:
+        collector.load_shard_state(spec.initial_state["shard_state"])
+        collector.rng.bit_generator.state = spec.initial_state["rng_state"]
+        # load_shard_state restores the layout, so prepare_aggregation
+        # below only validates the schema instead of re-deriving it.
+    collector.prepare_aggregation(spec.n_attributes, spec.domain_size,
+                                  total_users=spec.planning_users)
+    return collector
+
+
+def _run_stream_worker(spec: WorkerSpec, inbox, outbox, lock) -> None:
+    collector = _build_collector(spec)
+    layout = AccumulatorLayout(spec.slots)
+    block = SharedAccumulatorBlock.attach(layout, spec.shm_name,
+                                          unregister=spec.unregister_shm)
+    slot_index = {key: i for i, (key, _) in enumerate(layout.slots)}
+    with lock:
+        collector.bind_accumulator_views(block.views())
+        _publish_counts(collector, block, slot_index)
+    outbox.put(("ready", spec.index))
+    while True:
+        message = inbox.get()
+        kind = message[0]
+        if kind == "batch":
+            _, seq, rows = message
+            batch = Dataset(rows, spec.domain_size)
+            with lock:
+                collector.partial_fit(batch, total_users=spec.total_users)
+                _publish_counts(collector, block, slot_index)
+                block.header[HEADER_BATCHES_DONE] += 1
+                block.header[HEADER_LAST_SEQ] = seq
+        elif kind == "state":
+            with lock:
+                payload = {
+                    "shard_state": collector.shard_state(),
+                    "rng_state": collector.rng.bit_generator.state,
+                }
+            outbox.put(("state", spec.index, payload))
+        elif kind == "stop":
+            return
+        else:
+            raise ValueError(f"unknown worker message {kind!r}")
+
+
+def _publish_counts(collector, block: SharedAccumulatorBlock,
+                    slot_index: dict[str, int]) -> None:
+    counts = collector.accumulator_counts()
+    header = block.header
+    for key, count in counts.items():
+        header[HEADER_FIXED_FIELDS + slot_index[key]] = count
+    header[HEADER_TOTAL_REPORTS] = int(collector.population or 0)
+
+
+def _run_refit_worker(spec: WorkerSpec, inbox, outbox, lock) -> None:
+    buffer = SharedRowBuffer.attach(spec.row_capacity, spec.n_attributes,
+                                    spec.shm_name,
+                                    unregister=spec.unregister_shm)
+    outbox.put(("ready", spec.index))
+    while True:
+        message = inbox.get()
+        kind = message[0]
+        if kind == "batch":
+            _, seq, keys, rows = message
+            with lock:
+                buffer.append(seq, np.asarray(keys, dtype=np.int64),
+                              np.asarray(rows, dtype=np.int64))
+        elif kind == "state":
+            # Refit rows live in shared memory; the tier reads them
+            # directly, so there is no private state to capture.
+            outbox.put(("state", spec.index, None))
+        elif kind == "stop":
+            return
+        else:
+            raise ValueError(f"unknown worker message {kind!r}")
+
+
+def _run_worker(spec: WorkerSpec, inbox, outbox, lock) -> None:
+    if spec.mode == "stream":
+        _run_stream_worker(spec, inbox, outbox, lock)
+    elif spec.mode == "refit":
+        _run_refit_worker(spec, inbox, outbox, lock)
+    else:
+        raise ValueError(f"unknown worker mode {spec.mode!r}")

@@ -72,7 +72,8 @@ logger = logging.getLogger("repro.serving")
 
 #: Tenant-config keys forwarded to the QueryService constructor.
 _SERVICE_CONFIG_KEYS = ("mechanism", "epsilon", "seed", "refinalize_every",
-                        "total_users", "domain_size", "ingest_mode")
+                        "total_users", "domain_size", "ingest_mode",
+                        "ingest_workers")
 
 
 class QuotaExceededError(ServiceError):
@@ -285,13 +286,16 @@ class TenantManager:
         Deleting a *quarantined* tenant is allowed — it is the
         operator's way out when recovery cannot be repaired.
         """
+        runtime = None
         with self._registry_lock:
             if name in self._quarantined:
                 del self._quarantined[name]
             elif name in self._runtimes:
-                del self._runtimes[name]
+                runtime = self._runtimes.pop(name)
             else:
                 raise UnknownTenantError(f"unknown tenant {name!r}")
+        if runtime is not None:
+            runtime.service.close()
         self.backend.delete_tenant(name)
 
     def quarantined_tenants(self) -> dict[str, dict]:
@@ -481,6 +485,21 @@ class TenantManager:
             "degraded_tenants": degraded,
             "quarantined_tenants": quarantined,
         }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release every tenant's service (distributed ingest tiers).
+
+        Tenants with in-process ingest are unaffected; the manager
+        itself stays usable for queries, but closed tenants reject
+        further ingest until the process restarts and recovers them.
+        """
+        with self._registry_lock:
+            runtimes = list(self._runtimes.values())
+        for runtime in runtimes:
+            runtime.service.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"TenantManager({self.backend.name}: "

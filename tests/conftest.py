@@ -14,6 +14,24 @@ from repro.datasets import Dataset, generate_normal, make_dataset
 from repro.queries import WorkloadGenerator
 
 
+def pytest_configure(config):
+    """Register the suite's markers (see README's Testing section).
+
+    CI runs the fast tier-1 job with ``-m "not slow and not chaos and
+    not scaling"`` and a separate job for the marked tests; a plain
+    ``pytest`` run still executes everything.
+    """
+    config.addinivalue_line(
+        "markers", "slow: long-running test, excluded from the fast "
+                   "tier-1 CI job")
+    config.addinivalue_line(
+        "markers", "chaos: fault-injection test (process kills, storage "
+                   "failures); runs in the chaos CI job")
+    config.addinivalue_line(
+        "markers", "scaling: multi-core throughput test; asserts only "
+                   "where enough CPUs are available")
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

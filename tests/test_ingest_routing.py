@@ -1,0 +1,108 @@
+"""Property tests for the consistent-hash ingest router.
+
+Pins the two properties the ingest tier's determinism and elasticity
+rest on: assignment is a pure function of ``(key, seed, n_workers,
+replicas)`` — stable across router instances, because the hash is an
+explicit splitmix64 mixer, not the process-salted builtin ``hash`` —
+and growing the ring moves only ``≈ 1/(N+1)`` of the key space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ingest import ConsistentHashRouter, mix64
+
+KEYS = np.arange(20_000, dtype=np.uint64)
+
+
+def test_mix64_is_a_fixed_function():
+    """The mixer's outputs are pinned: any change to the constants or
+    the rounds silently re-routes every deployed key space."""
+    out = mix64(np.array([0, 1, 2, 12345678901234567], dtype=np.uint64))
+    assert out.tolist() == [16294208416658607535,
+                            10451216379200822465,
+                            10905525725756348110,
+                            13463060612230490842]
+
+
+def test_assignment_stable_across_instances():
+    first = ConsistentHashRouter(4, seed=9)
+    second = ConsistentHashRouter(4, seed=9)
+    assert np.array_equal(first.assign(KEYS), second.assign(KEYS))
+
+
+def test_assignment_depends_on_seed():
+    base = ConsistentHashRouter(4, seed=9).assign(KEYS)
+    other = ConsistentHashRouter(4, seed=10).assign(KEYS)
+    assert not np.array_equal(base, other)
+
+
+def test_assignment_in_range_and_reasonably_balanced():
+    router = ConsistentHashRouter(4, seed=0)
+    owners = router.assign(KEYS)
+    assert owners.min() >= 0 and owners.max() <= 3
+    counts = np.bincount(owners, minlength=4)
+    # Virtual nodes smooth the split; allow a generous spread around
+    # the ideal n/4 per worker.
+    assert counts.min() > len(KEYS) / 4 * 0.5
+    assert counts.max() < len(KEYS) / 4 * 1.7
+
+
+@pytest.mark.parametrize("n_workers", [2, 4, 8])
+def test_adding_a_worker_moves_about_one_over_n_plus_one(n_workers):
+    """Ring growth leaves old workers' points untouched, so only the
+    keys whose successor point belongs to the new worker move."""
+    before = ConsistentHashRouter(n_workers, seed=3).assign(KEYS)
+    after = ConsistentHashRouter(n_workers + 1, seed=3).assign(KEYS)
+    moved = before != after
+    # Every moved key must land on the NEW worker — minimal disruption.
+    assert np.all(after[moved] == n_workers)
+    fraction = moved.mean()
+    ideal = 1 / (n_workers + 1)
+    assert 0.4 * ideal < fraction < 1.8 * ideal
+
+
+def test_worker_for_matches_assign():
+    router = ConsistentHashRouter(3, seed=5)
+    owners = router.assign(KEYS[:100])
+    assert [router.worker_for(int(key)) for key in KEYS[:100]] \
+        == owners.tolist()
+
+
+def test_split_partitions_keys_in_submission_order():
+    router = ConsistentHashRouter(4, seed=1)
+    split = router.split(KEYS[:1000])
+    seen = np.concatenate(sorted((positions for positions in split.values()),
+                                 key=lambda p: p[0]))
+    # Each worker's positions are ascending (sub-batches preserve
+    # submission order) and together they cover every key exactly once.
+    for worker, positions in split.items():
+        assert np.all(np.diff(positions) > 0)
+        assert np.array_equal(router.assign(KEYS[:1000][positions]),
+                              np.full(positions.size, worker))
+    assert np.array_equal(np.sort(seen), np.arange(1000))
+
+
+def test_routing_deterministic_for_submission_index_keys():
+    """The tier keys reports by global submission index; two tiers
+    with the same seed must route every batch identically."""
+    router = ConsistentHashRouter(4, seed=13)
+    again = ConsistentHashRouter(4, seed=13)
+    start = 0
+    for batch_size in (100, 57, 1, 400):
+        keys = np.arange(start, start + batch_size, dtype=np.uint64)
+        first = router.split(keys)
+        second = again.split(keys)
+        assert sorted(first) == sorted(second)
+        for worker in first:
+            assert np.array_equal(first[worker], second[worker])
+        start += batch_size
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        ConsistentHashRouter(0)
+    with pytest.raises(ValueError):
+        ConsistentHashRouter(2, replicas=0)
