@@ -13,10 +13,14 @@ Run directly::
     PYTHONPATH=src python benchmarks/bench_ingest_scaling.py --smoke
 
 ``--smoke`` shrinks the population so CI exercises the whole
-multi-process path in seconds (no scaling assertion — CI runners may
-be single-core).  The full run uses 10^6 users and, on hosts with at
-least 4 CPUs, asserts the 4-worker tier sustains >= 3x the
-single-worker rate.  Every run appends a record to the
+multi-process path in seconds.  Unless ``--batch-size`` pins it, the
+submit batch is auto-sized per worker count so every worker sees
+several batches — a fixed batch that leaves 4 workers one batch each
+measures queue overhead, not scaling (the ``speedup_at_4: 0.77``
+regression).  On hosts with at least 4 CPUs the 4-worker tier must
+sustain >= 3x the single-worker rate (>= 1.5x in smoke mode, whose
+tiny population amortizes less startup cost); single-core hosts skip
+the assertion in both modes.  Every run appends a record to the
 ``BENCH_fit.json`` trajectory artifact at the repository root.
 """
 
@@ -38,6 +42,27 @@ from repro.ingest import IngestTier  # noqa: E402
 
 #: 4-worker speedup the full run must sustain on multi-core hosts.
 TARGET_SPEEDUP_AT_4 = 3.0
+
+#: Smoke-mode target: the tiny population amortizes less worker
+#: startup cost, so the bar is lower — but the gate still runs.
+SMOKE_TARGET_SPEEDUP_AT_4 = 1.5
+
+#: Auto-sizing: batches per worker each tier should see (enough to
+#: overlap routing with collection without starving anyone).
+BATCHES_PER_WORKER = 4
+
+
+def batch_size_for(n_users: int, workers: int,
+                   override: int | None = None) -> int:
+    """Submit batch size for one tier: explicit override or auto-sized.
+
+    Auto-sizing gives every worker ``BATCHES_PER_WORKER`` batches so
+    the sweep measures collection scaling at each worker count rather
+    than how a fixed batch count divides across workers.
+    """
+    if override is not None:
+        return override
+    return max(1_000, n_users // (workers * BATCHES_PER_WORKER))
 
 
 def time_ingest(mechanism: str, epsilon: float, workers: int,
@@ -64,27 +89,30 @@ def time_ingest(mechanism: str, epsilon: float, workers: int,
 
 
 def run(n_users: int, epsilon: float, n_attributes: int, domain_size: int,
-        batch_size: int, worker_counts: tuple[int, ...], mechanism: str,
-        seed: int, smoke: bool) -> tuple[str, dict]:
+        batch_size: int | None, worker_counts: tuple[int, ...],
+        mechanism: str, seed: int, smoke: bool) -> tuple[str, dict]:
     rng = np.random.default_rng(seed)
     rows = rng.integers(0, domain_size, size=(n_users, n_attributes))
     cpus = os.cpu_count() or 1
     lines = [f"ingest scaling: {mechanism} n={n_users} d={n_attributes} "
-             f"c={domain_size} eps={epsilon} batch={batch_size} "
-             f"cpus={cpus}",
-             f"{'workers':>8}  {'seconds':>10}  {'reports/sec':>12}  "
-             f"{'speedup':>8}"]
+             f"c={domain_size} eps={epsilon} "
+             f"batch={batch_size or 'auto'} cpus={cpus}",
+             f"{'workers':>8}  {'batch':>8}  {'seconds':>10}  "
+             f"{'reports/sec':>12}  {'speedup':>8}"]
     rates: dict[str, float] = {}
+    batch_sizes: dict[str, int] = {}
     base_rate = None
     for workers in worker_counts:
+        batch = batch_size_for(n_users, workers, batch_size)
+        batch_sizes[str(workers)] = batch
         seconds = time_ingest(mechanism, epsilon, workers, rows,
-                              domain_size, batch_size, seed)
+                              domain_size, batch, seed)
         rate = n_users / seconds
         if base_rate is None:
             base_rate = rate
         rates[str(workers)] = round(rate, 1)
-        lines.append(f"{workers:>8}  {seconds:>10.3f}  {rate:>12.0f}  "
-                     f"{rate / base_rate:>7.2f}x")
+        lines.append(f"{workers:>8}  {batch:>8}  {seconds:>10.3f}  "
+                     f"{rate:>12.0f}  {rate / base_rate:>7.2f}x")
     speedup_at_4 = (rates.get("4", 0.0) / rates["1"]) if "1" in rates else None
     text = "\n".join(lines)
     entry = {
@@ -94,6 +122,7 @@ def run(n_users: int, epsilon: float, n_attributes: int, domain_size: int,
         "domain_size": domain_size,
         "epsilon": epsilon,
         "batch_size": batch_size,
+        "batch_sizes": batch_sizes,
         "cpus": cpus,
         "smoke": smoke,
         "reports_per_second": rates,
@@ -106,8 +135,8 @@ def run(n_users: int, epsilon: float, n_attributes: int, domain_size: int,
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
-                        help="tiny configuration for CI (no scaling "
-                             "assertion)")
+                        help="tiny configuration for CI (lower scaling "
+                             "target, same >=4-CPU gate)")
     parser.add_argument("--mechanism", default="TDG")
     parser.add_argument("--n-users", type=int, default=None)
     parser.add_argument("--epsilon", type=float, default=1.0)
@@ -120,19 +149,18 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     n_users = args.n_users or (20_000 if args.smoke else 1_000_000)
-    batch_size = args.batch_size or (5_000 if args.smoke else 50_000)
     worker_counts = tuple(args.workers or (1, 2, 4))
     text, entry = run(n_users, args.epsilon, args.n_attributes,
-                      args.domain_size, batch_size, worker_counts,
+                      args.domain_size, args.batch_size, worker_counts,
                       args.mechanism, args.seed, smoke=args.smoke)
     report("ingest_scaling", text)
     append_trajectory("ingest_scaling", entry)
     speedup = entry["speedup_at_4_workers"]
-    if (not args.smoke and speedup is not None
-            and (os.cpu_count() or 1) >= 4
-            and speedup < TARGET_SPEEDUP_AT_4):
+    target = SMOKE_TARGET_SPEEDUP_AT_4 if args.smoke else TARGET_SPEEDUP_AT_4
+    if (speedup is not None and (os.cpu_count() or 1) >= 4
+            and speedup < target):
         print(f"FAIL: 4-worker speedup {speedup:.2f}x "
-              f"< target {TARGET_SPEEDUP_AT_4:.1f}x", file=sys.stderr)
+              f"< target {target:.1f}x", file=sys.stderr)
         return 1
     return 0
 

@@ -20,8 +20,18 @@ end-to-end against a live in-process worker-pool server:
 * **query (in-process)** — the same workload straight through
   ``QueryService.query``, isolating the HTTP + JSON overhead;
 * **query (in-process, single)** — one ``service.query([q])`` call per
-  query, the no-batching floor that the batched HTTP path is expected
-  to beat.
+  query through the epoch single-query fast path.  Reported twice:
+  *uncached* (answer cache cleared first, plans warm — the honest
+  repeated-single-call floor) and *cached* (the same calls repeated,
+  hitting the ``(epoch_id, workload)`` answer LRU).
+
+With ``--clients N [N ...]`` the run adds a **read scaling** sweep:
+N keep-alive connections post the batched workload concurrently
+against the worker pool, exercising the lock-free epoch read path;
+the ``read_scaling`` trajectory section records aggregate queries/sec
+per client count and the 8-vs-1 speedup.  ``--min-single-qps Q``
+fails the run (exit 1) when the cached single-call rate drops below
+Q — CI's regression gate on the fast path.
 
 With ``--backend json|sqlite`` the server runs multi-tenant over that
 storage backend instead of a bare service: ingest then flows through
@@ -87,6 +97,67 @@ def _post(port: int, path: str, payload: dict) -> dict:
         headers={"Content-Type": "application/json"})
     with urllib.request.urlopen(request, timeout=60) as response:
         return json.loads(response.read())
+
+
+def measure_read_scaling(port: int, wire_workload: list,
+                         client_counts: tuple[int, ...],
+                         query_rounds: int) -> tuple[list[str], dict]:
+    """Aggregate batched-query throughput vs concurrent client count.
+
+    Each client posts the whole workload as one ``{"workloads": [...]}``
+    batch per round over its own keep-alive connection; all clients
+    start together behind a barrier after one warm-up round.  With the
+    epoch read path queries never take the service lock, so throughput
+    should grow with clients until the worker pool or the GIL-released
+    NumPy kernels saturate the cores.
+    """
+    body = json.dumps({"workloads": [wire_workload]}).encode("utf-8")
+    headers = {"Content-Type": "application/json"}
+
+    def client_loop(barrier: threading.Barrier, elapsed: list,
+                    index: int) -> None:
+        connection = http.client.HTTPConnection("127.0.0.1", port,
+                                                timeout=120)
+        try:
+            connection.request("POST", "/query", body=body, headers=headers)
+            warmup = json.loads(connection.getresponse().read())
+            assert warmup["count"] == len(wire_workload)
+            barrier.wait()
+            start = time.perf_counter()
+            for _ in range(query_rounds):
+                connection.request("POST", "/query", body=body,
+                                   headers=headers)
+                connection.getresponse().read()
+            elapsed[index] = time.perf_counter() - start
+        finally:
+            connection.close()
+
+    lines = [f"  read scaling      : {query_rounds} rounds x "
+             f"{len(wire_workload)} queries per client"]
+    rates: dict[str, float] = {}
+    for clients in client_counts:
+        barrier = threading.Barrier(clients)
+        elapsed: list = [None] * clients
+        threads = [threading.Thread(target=client_loop,
+                                    args=(barrier, elapsed, index))
+                   for index in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        window = max(elapsed)
+        rate = clients * query_rounds * len(wire_workload) / window
+        rates[str(clients)] = round(rate, 1)
+        base = rates[str(client_counts[0])]
+        lines.append(f"    {clients:>3} clients     : {rate:10.1f} "
+                     f"queries/sec  {rate / base:5.2f}x")
+    section = {
+        "client_counts": list(client_counts),
+        "queries_per_sec": rates,
+        "speedup_at_8_clients": (round(rates["8"] / rates["1"], 2)
+                                 if "8" in rates and "1" in rates else None),
+    }
+    return lines, section
 
 
 def compare_storage_backends(document: dict, rows: np.ndarray,
@@ -248,7 +319,8 @@ def measure_resilience(rows: np.ndarray, batch_size: int, domain_size: int,
 def run(n_batches: int, batch_size: int, n_attributes: int, domain_size: int,
         n_queries: int, query_rounds: int, epsilon: float, seed: int,
         smoke: bool, backend: str | None = None,
-        fault_rate: float | None = None) -> tuple[str, dict]:
+        fault_rate: float | None = None,
+        client_counts: tuple[int, ...] = ()) -> tuple[str, dict]:
     rng = np.random.default_rng(seed)
     total_users = n_batches * batch_size
     dataset = make_dataset("normal", total_users, n_attributes, domain_size,
@@ -331,12 +403,29 @@ def run(n_batches: int, batch_size: int, n_attributes: int, domain_size: int,
         direct_seconds = time.perf_counter() - start
         assert np.isfinite(in_process).all()
 
-        # The no-batching floor: one service.query call per query.
+        # Single-call path: one service.query([q]) per query through
+        # the epoch fast path.  One untimed pass warms the per-epoch
+        # single-query plans; the uncached pass then measures the
+        # plan-warm/answer-cold floor, and the cached rounds measure
+        # repeated identical calls against the answer LRU.
+        for query in workload:
+            service.query([query])
+        service.clear_answer_cache()
         start = time.perf_counter()
         for query in workload:
             single = service.query([query])
+        single_uncached_seconds = time.perf_counter() - start
+        assert np.isfinite(single).all()
+        start = time.perf_counter()
+        for _ in range(query_rounds):
+            for query in workload:
+                single = service.query([query])
         single_seconds = time.perf_counter() - start
         assert np.isfinite(single).all()
+
+        if client_counts:
+            scaling_lines, scaling_section = measure_read_scaling(
+                port, wire_workload, client_counts, query_rounds)
         if backend is not None:
             document = service.state_dict()
             storage_lines, storage_results = compare_storage_backends(
@@ -356,7 +445,8 @@ def run(n_batches: int, batch_size: int, n_attributes: int, domain_size: int,
     http_rate = query_rounds * len(workload) / http_seconds
     batched_rate = query_rounds * len(workload) / batched_seconds
     direct_rate = query_rounds * len(workload) / direct_seconds
-    single_rate = len(workload) / single_seconds
+    single_rate = query_rounds * len(workload) / single_seconds
+    single_uncached_rate = len(workload) / single_uncached_seconds
     front_end = "single-tenant" if backend is None else f"backend={backend}"
     lines = [
         f"serving throughput: HDG eps={epsilon} d={n_attributes} "
@@ -370,8 +460,12 @@ def run(n_batches: int, batch_size: int, n_attributes: int, domain_size: int,
         f"{batched_seconds:6.2f}s  -> {batched_rate:10.1f} queries/sec",
         f"  query in-process  : {query_rounds * len(workload):>8} queries in "
         f"{direct_seconds:6.2f}s  -> {direct_rate:10.1f} queries/sec",
+        f"  query single-call : {query_rounds * len(workload):>8} queries in "
+        f"{single_seconds:6.2f}s  -> {single_rate:10.1f} queries/sec "
+        "(cached)",
         f"  query single-call : {len(workload):>8} queries in "
-        f"{single_seconds:6.2f}s  -> {single_rate:10.1f} queries/sec",
+        f"{single_uncached_seconds:6.2f}s  -> "
+        f"{single_uncached_rate:10.1f} queries/sec (uncached)",
     ]
     entry = {
         "mode": "smoke" if smoke else "full",
@@ -383,7 +477,12 @@ def run(n_batches: int, batch_size: int, n_attributes: int, domain_size: int,
         "batched_http_queries_per_sec": round(batched_rate, 1),
         "in_process_queries_per_sec": round(direct_rate, 1),
         "in_process_single_query_per_sec": round(single_rate, 1),
+        "in_process_single_query_uncached_per_sec":
+            round(single_uncached_rate, 1),
     }
+    if client_counts:
+        lines.extend(scaling_lines)
+        entry["read_scaling"] = scaling_section
     if backend is not None:
         lines.extend(storage_lines)
         entry["backend"] = backend
@@ -409,6 +508,16 @@ def main(argv: list[str] | None = None) -> int:
                              "under injected locked-database faults at "
                              "this rate, degraded-mode query throughput, "
                              "and the no-fault resilience overhead")
+    parser.add_argument("--clients", type=int, nargs="+", default=None,
+                        metavar="N",
+                        help="add the read-scaling sweep: this many "
+                             "concurrent keep-alive clients posting the "
+                             "batched workload (e.g. --clients 1 2 4 8)")
+    parser.add_argument("--min-single-qps", type=float, default=None,
+                        metavar="Q",
+                        help="fail (exit 1) when the cached in-process "
+                             "single-call rate is below Q queries/sec "
+                             "(CI's fast-path regression gate)")
     parser.add_argument("--max-overhead-fraction", type=float, default=0.05,
                         metavar="F",
                         help="with --fault-rate: fail (exit 1) when the "
@@ -427,17 +536,26 @@ def main(argv: list[str] | None = None) -> int:
                         domain_size=32, n_queries=200, query_rounds=10)
     text, entry = run(epsilon=args.epsilon, seed=args.seed, smoke=args.smoke,
                       backend=args.backend, fault_rate=args.fault_rate,
+                      client_counts=tuple(args.clients or ()),
                       **settings)
     report("serving_throughput", text)
     append_trajectory("serving_throughput", entry)
+    failed = False
     if args.fault_rate is not None:
         overhead = entry["resilience"]["no_fault_overhead_fraction"]
         if overhead > args.max_overhead_fraction:
             print(f"FAIL: no-fault resilience overhead {overhead:.4f} "
                   f"exceeds --max-overhead-fraction "
                   f"{args.max_overhead_fraction}", file=sys.stderr)
-            return 1
-    return 0
+            failed = True
+    if args.min_single_qps is not None:
+        single = entry["in_process_single_query_per_sec"]
+        if single < args.min_single_qps:
+            print(f"FAIL: cached single-call rate {single:.1f} q/s "
+                  f"< --min-single-qps {args.min_single_qps}",
+                  file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

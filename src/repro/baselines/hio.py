@@ -59,6 +59,10 @@ class HIO(RangeQueryMechanism):
 
     name = "HIO"
 
+    #: Answering draws lazy noise and memoizes it (``_lazy_cache``), so
+    #: concurrent answering must be serialized by the caller.
+    answering_is_pure = False
+
     def __init__(self, epsilon: float, branching: int = 4,
                  materialize_limit: int = 1 << 16,
                  oracle_mode: str = "fast", seed: int | None = None):

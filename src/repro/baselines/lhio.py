@@ -98,6 +98,10 @@ class LHIO(PairwiseBatchAnswering, RangeQueryMechanism):
 
     name = "LHIO"
 
+    #: Over-limit levels answer through a lazy noise cache fed by RNG
+    #: draws, so concurrent answering must be serialized by the caller.
+    answering_is_pure = False
+
     def __init__(self, epsilon: float, branching: int = 4,
                  materialize_limit: int = 1 << 16, consistency: bool = True,
                  oracle_mode: str = "fast",

@@ -326,7 +326,11 @@ def _build_streaming_service(args: argparse.Namespace) -> QueryService:
                            domain_size=args.domain_size,
                            ingest_mode=getattr(args, "ingest_mode", "stream"),
                            ingest_workers=getattr(args, "ingest_workers",
-                                                  None))
+                                                  None),
+                           plan_cache_entries=getattr(
+                               args, "plan_cache_entries", None),
+                           answer_cache_entries=getattr(
+                               args, "answer_cache_entries", None))
     if args.bootstrap_dataset:
         rng = np.random.default_rng(args.seed)
         dataset = make_dataset(args.bootstrap_dataset, args.n_users,
@@ -347,6 +351,8 @@ def _default_tenant_config(args: argparse.Namespace) -> dict:
         "domain_size": args.domain_size,
         "ingest_mode": getattr(args, "ingest_mode", "stream"),
         "ingest_workers": getattr(args, "ingest_workers", None),
+        "plan_cache_entries": getattr(args, "plan_cache_entries", None),
+        "answer_cache_entries": getattr(args, "answer_cache_entries", None),
         "keep_last": args.keep_last,
     }
 
@@ -580,11 +586,28 @@ def _command_tenants(args: argparse.Namespace) -> int:
                 print(f"  config: {record.config}")
                 print(f"  pending ingest log: "
                       f"{backend.ingest_log_depth(record.name)}")
-                for snapshot in backend.list_snapshots(record.name):
+                snapshots = backend.list_snapshots(record.name)
+                for snapshot in snapshots:
                     print(f"  snapshot v{snapshot.version}: "
                           f"{snapshot.size_bytes} bytes, "
                           f"{snapshot.created_at}, "
                           f"wal_seq={snapshot.wal_seq}")
+                if snapshots:
+                    document, _ = backend.load_snapshot(record.name)
+                    status = QueryService.from_state_dict(document).status()
+                    plan = status.get("plan_cache") or {}
+                    answer = status.get("answer_cache") or {}
+                    print(f"  epoch: {status.get('epoch', 0)} "
+                          f"(from snapshot v{snapshots[-1].version})")
+                    print(f"  plan cache: size={plan.get('size')} "
+                          f"capacity={plan.get('capacity')}")
+                    print(f"  answer cache: capacity={answer.get('capacity')}")
+                else:
+                    config = record.config
+                    print(f"  plan cache: capacity="
+                          f"{config.get('plan_cache_entries') or 'default'}")
+                    print(f"  answer cache: capacity="
+                          f"{config.get('answer_cache_entries') or 'default'}")
                 return 0
             # delete
             backend.delete_tenant(args.name)
@@ -618,6 +641,16 @@ def _add_serving_mechanism_arguments(parser: argparse.ArgumentParser) -> None:
                              "docs/ingest.md)")
     parser.add_argument("--epsilon", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--plan-cache-entries", type=int, default=None,
+                        metavar="N",
+                        help="compiled-plan LRU capacity per service "
+                             "(default: the estimator's built-in 8; raise "
+                             "for workloads cycling through many distinct "
+                             "query shapes)")
+    parser.add_argument("--answer-cache-entries", type=int, default=None,
+                        metavar="N",
+                        help="answered-workload LRU capacity per service "
+                             "(default 256; 0 disables answer caching)")
     parser.add_argument("--refinalize-every", type=int, default=None,
                         metavar="N",
                         help="re-run Phase 2 automatically after N newly "

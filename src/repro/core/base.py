@@ -104,6 +104,14 @@ class RangeQueryMechanism(abc.ABC):
     #: such queries with a clear per-query error.
     query_capabilities: frozenset[str] = ALL_QUERY_KINDS
 
+    #: Whether answering a fitted instance is free of side effects.
+    #: Pure mechanisms may answer concurrently from many threads with
+    #: no lock (the serving tier's epoch read path relies on this);
+    #: mechanisms that draw noise lazily or memoize per-query state
+    #: during answering (HIO, LHIO) override this to False and the
+    #: epoch serializes their answering with a per-epoch lock.
+    answering_is_pure: bool = True
+
     def __init__(self, epsilon: float, seed: int | None = None):
         if epsilon <= 0:
             raise ValueError(f"epsilon must be positive, got {epsilon}")
@@ -521,6 +529,18 @@ class RangeQueryMechanism(abc.ABC):
     def plan_cache_stats(self) -> dict:
         """Hit/miss/eviction counters of the compiled-plan cache."""
         return self._typed_plan_cache.stats()
+
+    def set_plan_cache_capacity(self, capacity: int) -> None:
+        """Rebound the compiled-plan LRU (``--plan-cache-entries``).
+
+        A no-op when the cache already has that capacity; otherwise the
+        cache is replaced (entries and counters reset), so shrinking
+        actually releases the evicted plans.
+        """
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be >= 1")
+        if int(capacity) != self._typed_plan_cache.capacity:
+            self._typed_plan_cache = PlanCache(int(capacity))
 
     def _answer_compiled(self, compiled: CompiledPlan) -> np.ndarray:
         """Answer a compiled plan's primitives as one flat vector.

@@ -147,6 +147,20 @@ def weighted_update_batch(size: int, index_sets: list[np.ndarray],
             f"got {targets.shape[1]} targets per problem for "
             f"{len(index_sets)} constraints")
     n_problems = targets.shape[0]
+    if n_problems == 1:
+        # Single-problem workloads (one λ-D query) dominate the serving
+        # tier's single-query path; the 2-D machinery below spends most
+        # of its time on tiny-array overhead (`ones_like`, masked
+        # divides, active-row bookkeeping).  The 1-D sweep runs the
+        # same multiplications in the same order, and a (1, k) gather
+        # is contiguous so its axis-1 sum is the same pairwise
+        # reduction as the 1-D `.sum()` — this branch is bitwise
+        # identical to what the generic path produces for one row
+        # (pinned by tests/test_epoch_serving.py).  Only n >= 2 rows
+        # gather F-ordered and reduce with a strided loop, so batches
+        # of different heights were never mutually bitwise anyway.
+        return _weighted_update_single(size, index_sets, targets[0],
+                                       threshold, max_iterations)[None]
     estimate = np.full((n_problems, size), 1.0 / size)
     if n_problems == 0:
         return estimate
@@ -166,5 +180,21 @@ def weighted_update_batch(size: int, index_sets: list[np.ndarray],
         estimate[active] = sub
         active = active[changes >= threshold]
         if active.size == 0:
+            break
+    return estimate
+
+
+def _weighted_update_single(size: int, index_sets: list[np.ndarray],
+                            targets: np.ndarray, threshold: float,
+                            max_iterations: int) -> np.ndarray:
+    """One problem's sweeps as flat 1-D operations (no row dimension)."""
+    estimate = np.full(size, 1.0 / size)
+    for _ in range(max_iterations):
+        before = estimate.copy()
+        for position, idx in enumerate(index_sets):
+            current = estimate[idx].sum()
+            if current != 0.0:
+                estimate[idx] *= targets[position] / current
+        if np.abs(estimate - before).sum() < threshold:
             break
     return estimate

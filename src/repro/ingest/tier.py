@@ -123,6 +123,10 @@ class MergeCoordinator:
         self.merges = 0
         self.reports_merged = 0
         self.last_merge_seconds: float | None = None
+        #: Epoch-publication bookkeeping: merged estimators the owning
+        #: service actually swapped in as published read epochs.
+        self.epochs_published = 0
+        self.last_published_epoch: int | None = None
 
     def merge(self):
         """Flush, fold every worker's state, finalize a fresh estimator."""
@@ -132,6 +136,16 @@ class MergeCoordinator:
         self.reports_merged = reports
         self.last_merge_seconds = time.perf_counter() - started
         return estimator
+
+    def record_publication(self, epoch_id: int) -> None:
+        """Note that a merged estimator was published as ``epoch_id``.
+
+        Called by the owning :class:`~repro.serving.QueryService` after
+        its epoch swap, so ``/healthz`` can show how far merge output
+        lags behind what readers currently observe.
+        """
+        self.epochs_published += 1
+        self.last_published_epoch = int(epoch_id)
 
     @property
     def merge_lag_reports(self) -> int:
@@ -144,6 +158,8 @@ class MergeCoordinator:
             "reports_merged": self.reports_merged,
             "merge_lag_reports": self.merge_lag_reports,
             "last_merge_seconds": self.last_merge_seconds,
+            "epochs_published": self.epochs_published,
+            "last_published_epoch": self.last_published_epoch,
         }
 
 

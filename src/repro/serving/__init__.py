@@ -15,6 +15,11 @@ This package provides that serving layer on top of the mechanisms'
     :class:`QueryService` — thread-safe ingest → re-finalize → answer
     loop around one mechanism, serializable with its pending (not yet
     finalized) reports.
+:mod:`repro.serving.epoch`
+    :class:`EstimatorEpoch` and :class:`AnswerCache` — the RCU-style
+    published read view queries answer against lock-free, plus the
+    ``(epoch_id, workload)``-keyed answer LRU whose invalidation is
+    free by construction.
 :mod:`repro.serving.tenants`
     :class:`TenantManager` — one named :class:`QueryService` per
     tenant over a :class:`~repro.storage.StorageBackend`, with
@@ -34,6 +39,7 @@ full reference.
 """
 
 from ..resilience import DegradedServiceError
+from .epoch import AnswerCache, EstimatorEpoch
 from .http import (ServingHTTPServer, ServingRequestHandler, build_server,
                    serve)
 from .service import (SERVICE_SNAPSHOT_FORMAT, SERVICE_SNAPSHOT_VERSION,
@@ -44,7 +50,9 @@ from .snapshot import (SNAPSHOT_MECHANISMS, SnapshotInfo, SnapshotStore,
 from .tenants import QuotaExceededError, TenantManager
 
 __all__ = [
+    "AnswerCache",
     "DegradedServiceError",
+    "EstimatorEpoch",
     "QueryService",
     "QuotaExceededError",
     "SERVICE_SNAPSHOT_FORMAT",

@@ -232,11 +232,14 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
         if self.verbose:
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, document: dict) -> None:
+    def _send_json(self, status: int, document: dict,
+                   headers: dict | None = None) -> None:
         body = json.dumps(document).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
 
@@ -432,7 +435,11 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
                     status = self.tenant_manager.refinalize(tenant)
                 else:
                     status = self.service.refinalize()
-                self._send_json(200, status)
+                # The epoch the re-finalize published: clients use the
+                # header to confirm subsequent reads observe it.
+                self._send_json(200, status,
+                                headers={"Refinalize-Epoch":
+                                         status.get("epoch", 0)})
             elif path == "/snapshot":
                 tenant = self._tenant_of(payload, params)
                 self._send_json(200, self._save_snapshot(tenant))

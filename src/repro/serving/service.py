@@ -40,12 +40,19 @@ The whole service serializes to one JSON document
 not-yet-finalized reports.  :class:`~repro.serving.SnapshotStore`
 versions those documents on disk.
 
-All entry points are thread-safe (one re-entrant lock), which is what
-the :mod:`repro.serving.http` front-end's worker pool relies on.  The
-answering hot path routes through the mechanisms' compiled-plan cache
-(:mod:`repro.queries.compiler`), so repeated workloads skip planning
+Concurrency: ingest, re-finalize and snapshot capture are serialized
+by the service's locks, but the *read path is lock-free* — every
+finalize/restore publishes an immutable :class:`~repro.serving.epoch.
+EstimatorEpoch` with a single atomic reference assignment, and
+``query``/``query_typed``/``query_wire``/``query_wire_batch`` load
+that reference once and answer against it with no lock at all (see
+:mod:`repro.serving.epoch` and docs/serving.md for the read-
+consistency contract).  The answering hot path routes through the
+mechanisms' compiled-plan cache (:mod:`repro.queries.compiler`) plus
+a per-service answer cache keyed by ``(epoch_id, workload)``, so
+repeated workloads skip planning — and on a cache hit, answering —
 entirely; :meth:`QueryService.query_wire_batch` answers a whole batch
-of workloads under one lock acquisition for the batched ``/query``
+of workloads against one consistent epoch for the batched ``/query``
 wire form.
 """
 
@@ -62,7 +69,9 @@ from ..ingest import IngestTier
 from ..pipeline.aggregator import SHARDABLE_MECHANISMS
 from ..queries import (MarginalQuery, PointQuery, Predicate,
                        PredicateCountQuery, Query, QueryResult, RangeQuery,
-                       ScalarResult, TopKQuery, query_kind)
+                       TopKQuery, query_kind)
+from .epoch import (DEFAULT_ANSWER_CACHE_ENTRIES, AnswerCache,
+                    EstimatorEpoch)
 from .snapshot import (SNAPSHOT_MECHANISMS, SnapshotInfo, SnapshotStore,
                        restore_mechanism)
 
@@ -168,15 +177,6 @@ def query_to_wire(query: Query) -> dict:
                     f"({query_kind(query)})")
 
 
-def _results_document(results: list[QueryResult]) -> dict:
-    """The wire document for one answered workload (see ``query_wire``)."""
-    document = {"count": len(results),
-                "results": [result.to_wire() for result in results]}
-    if all(isinstance(result, ScalarResult) for result in results):
-        document["answers"] = [float(result.value) for result in results]
-    return document
-
-
 class QueryService:
     """Ingest-and-answer front-end over one mechanism.
 
@@ -214,6 +214,13 @@ class QueryService:
         :class:`~repro.ingest.IngestTier` with this many collector
         workers instead of an in-process collector.  Requires
         name-based construction; works with both ingest modes.
+    plan_cache_entries:
+        Capacity of the estimator's compiled-plan LRU (``None`` keeps
+        the mechanism default); applied to every published estimator.
+    answer_cache_entries:
+        Capacity of the per-service answer cache (``0`` disables it;
+        ``None`` keeps the default of
+        :data:`~repro.serving.epoch.DEFAULT_ANSWER_CACHE_ENTRIES`).
     mechanism_kwargs:
         Extra keyword arguments for name-based mechanism construction.
     """
@@ -228,6 +235,8 @@ class QueryService:
                  domain_size: int | None = None,
                  ingest_mode: str = "stream",
                  ingest_workers: int | None = None,
+                 plan_cache_entries: int | None = None,
+                 answer_cache_entries: int | None = None,
                  **mechanism_kwargs):
         if refinalize_every is not None and refinalize_every < 1:
             raise ValueError("refinalize_every must be >= 1 when set")
@@ -236,11 +245,27 @@ class QueryService:
                              f"known: {list(self.INGEST_MODES)}")
         if ingest_workers is not None and ingest_workers < 1:
             raise ValueError("ingest_workers must be >= 1 when set")
+        if plan_cache_entries is not None and plan_cache_entries < 1:
+            raise ValueError("plan_cache_entries must be >= 1 when set")
+        if answer_cache_entries is not None and answer_cache_entries < 0:
+            raise ValueError("answer_cache_entries must be >= 0 when set "
+                             "(0 disables answer caching)")
         self._lock = threading.RLock()
         #: Serializes whole re-finalize operations (capture → Phase 2 →
         #: swap) without holding the state lock through the heavy part.
         self._refinalize_lock = threading.Lock()
         self._estimator: RangeQueryMechanism | None = None
+        #: The published read view; queries load this reference once
+        #: and answer against it lock-free.  Only :meth:`_publish`
+        #: (always called under ``_lock``) replaces it.
+        self._epoch: EstimatorEpoch | None = None
+        self._epoch_counter = 0
+        self.plan_cache_entries = (int(plan_cache_entries)
+                                   if plan_cache_entries is not None else None)
+        self.answer_cache_entries = (
+            int(answer_cache_entries) if answer_cache_entries is not None
+            else DEFAULT_ANSWER_CACHE_ENTRIES)
+        self._answer_cache = AnswerCache(self.answer_cache_entries)
         self._collector: RangeQueryMechanism | None = None
         #: Refit-mode state: buffered raw batches + rebuild recipe.
         self._refit: dict | None = None
@@ -284,7 +309,7 @@ class QueryService:
             }
         elif isinstance(mechanism, RangeQueryMechanism):
             if mechanism.is_fitted:
-                self._estimator = mechanism
+                self._publish(mechanism)
             else:
                 if not mechanism.supports_sharding:
                     raise ValueError(
@@ -360,7 +385,56 @@ class QueryService:
     @property
     def is_ready(self) -> bool:
         """Whether a finalized estimator is available for queries."""
-        return self._estimator is not None
+        return self._epoch is not None
+
+    @property
+    def epoch_id(self) -> int:
+        """Id of the published epoch (0 until the first finalize/restore)."""
+        epoch = self._epoch
+        return epoch.epoch_id if epoch is not None else 0
+
+    def read_epoch(self) -> EstimatorEpoch:
+        """The current published read view (lock-free snapshot).
+
+        Callers answering several workloads against the *same* epoch
+        hold the returned object and use its answering methods; the
+        service may publish newer epochs meanwhile without affecting
+        it.  Raises :class:`ServiceError` before the first finalize.
+        """
+        epoch = self._epoch
+        if epoch is None:
+            raise ServiceError(
+                "service is not ready: ingest reports and re-finalize "
+                "(or restore a snapshot) before querying")
+        return epoch
+
+    def _publish(self, estimator: RangeQueryMechanism, *,
+                 epoch_id: int | None = None) -> None:
+        """Build and publish a fresh epoch around ``estimator``.
+
+        The epoch (id, estimator, cache references) is constructed
+        completely before the single ``self._epoch`` assignment — the
+        linearization point readers observe.  Callers hold ``_lock``
+        (or are single-threaded constructors/restores), so epoch ids
+        are assigned in publication order.
+        """
+        if self.plan_cache_entries is not None:
+            estimator.set_plan_cache_capacity(self.plan_cache_entries)
+        if epoch_id is None:
+            epoch_id = self._epoch_counter + 1
+        self._epoch_counter = int(epoch_id)
+        epoch = EstimatorEpoch(self._epoch_counter, estimator,
+                               answer_cache=self._answer_cache)
+        self._estimator = estimator
+        self._epoch = epoch
+
+    def answer_cache_stats(self) -> dict:
+        """Hit/miss/eviction counters of the answer cache."""
+        return self._answer_cache.stats()
+
+    def clear_answer_cache(self) -> None:
+        """Drop cached answers (benchmarks measure the uncached path)."""
+        self._answer_cache.clear()
 
     def status(self) -> dict:
         """Service health document (what ``GET /healthz`` returns)."""
@@ -391,8 +465,10 @@ class QueryService:
                 "ingest_workers": self.ingest_workers,
                 "ingest_tier": (self._tier.metrics()
                                 if self._tier is not None else None),
+                "epoch": self.epoch_id,
                 "plan_cache": (self._estimator.plan_cache_stats()
                                if self._estimator is not None else None),
+                "answer_cache": self._answer_cache.stats(),
             }
 
     # ------------------------------------------------------------------
@@ -513,11 +589,12 @@ class QueryService:
                 if tier is None:
                     raise ServiceError("no reports ingested yet")
                 # flush + fold + Phase 2 run outside the state lock, so
-                # queries keep answering from the previous estimator.
+                # queries keep answering from the previous epoch.
                 clone = tier.coordinator.merge()
                 with self._lock:
-                    self._estimator = clone
+                    self._publish(clone)
                     self.finalize_count += 1
+                tier.coordinator.record_publication(self.epoch_id)
                 return
             if self._refit is not None:
                 self._refinalize_refit()
@@ -533,7 +610,7 @@ class QueryService:
             clone.load_shard_state(state)
             clone.finalize()
             with self._lock:
-                self._estimator = clone
+                self._publish(clone)
                 self.finalize_count += 1
 
     def _refinalize_refit(self) -> None:
@@ -553,7 +630,7 @@ class QueryService:
                                   **recipe["kwargs"])
         clone.fit(Dataset(rows, domain_size))
         with self._lock:
-            self._estimator = clone
+            self._publish(clone)
             self.finalize_count += 1
 
     def _build_tier(self, n_attributes: int, domain_size: int, *,
@@ -576,28 +653,20 @@ class QueryService:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def _require_estimator(self) -> RangeQueryMechanism:
-        """The serving estimator; raises when no finalize/restore happened."""
-        if self._estimator is None:
-            raise ServiceError(
-                "service is not ready: ingest reports and re-finalize "
-                "(or restore a snapshot) before querying")
-        return self._estimator
-
     def query(self, queries: list) -> np.ndarray | list[QueryResult]:
-        """Answer a (possibly mixed-kind) workload with the current estimator.
+        """Answer a (possibly mixed-kind) workload with the current epoch.
 
         Pure range workloads return the flat float vector; workloads
         containing other IR kinds return typed results (see
         :meth:`repro.core.RangeQueryMechanism.answer_workload`).
+        Lock-free: the published epoch reference is loaded once and the
+        whole workload answers against that one finalized estimator.
         """
-        with self._lock:
-            return self._require_estimator().answer_workload(queries)
+        return self.read_epoch().answer_workload(queries)
 
     def query_typed(self, queries: list) -> list[QueryResult]:
         """Answer any workload as typed results, range-only ones included."""
-        with self._lock:
-            return self._require_estimator().answer_typed(queries)
+        return self.read_epoch().answer_typed(queries)
 
     def query_wire(self, objs) -> dict:
         """Answer a JSON-wire workload (what ``POST /query`` serves).
@@ -608,7 +677,7 @@ class QueryService:
         it additionally carries the flat ``answers`` float list the
         pre-IR API served.
         """
-        return _results_document(self.query_typed(queries_from_wire(objs)))
+        return self.read_epoch().wire_document(queries_from_wire(objs))
 
     def query_wire_batch(self, workloads) -> dict:
         """Answer a batch of JSON-wire workloads in one call.
@@ -617,19 +686,18 @@ class QueryService:
         queries, exactly what :meth:`query_wire` accepts).  Every
         workload is parsed *before* any answering happens — a malformed
         entry fails the whole batch without partial effects — and all
-        workloads are then answered under a single lock acquisition, so
-        a batch observes one consistent estimator even while re-finalize
-        swaps are landing.  Returns ``{"count": total_queries,
-        "workloads": [per-workload documents]}`` where each per-workload
-        document has the :meth:`query_wire` shape.
+        workloads are then answered against a single epoch reference
+        loaded once, so a batch observes one consistent finalized
+        estimator even while re-finalize swaps are landing (and no
+        lock is held while it answers).  Returns ``{"count":
+        total_queries, "workloads": [per-workload documents]}`` where
+        each per-workload document has the :meth:`query_wire` shape.
         """
         if not isinstance(workloads, (list, tuple)):
             raise ValueError("workloads must be a JSON list of query lists")
         parsed = [queries_from_wire(objs) for objs in workloads]
-        with self._lock:
-            estimator = self._require_estimator()
-            answered = [estimator.answer_typed(queries) for queries in parsed]
-        documents = [_results_document(results) for results in answered]
+        epoch = self.read_epoch()
+        documents = [epoch.wire_document(queries) for queries in parsed]
         return {"count": sum(document["count"] for document in documents),
                 "workloads": documents}
 
@@ -661,6 +729,9 @@ class QueryService:
                 "reports_ingested": self.reports_ingested,
                 "reports_since_finalize": self.reports_since_finalize,
                 "finalize_count": self.finalize_count,
+                "epoch_id": self.epoch_id,
+                "plan_cache_entries": self.plan_cache_entries,
+                "answer_cache_entries": self.answer_cache_entries,
                 "collector_config": collector_config,
                 "collector_rng": collector_rng,
                 "collector": collector_state,
@@ -717,6 +788,12 @@ class QueryService:
                              SERVICE_SNAPSHOT_VERSION)
         estimator = (restore_mechanism(state["estimator"])
                      if state.get("estimator") is not None else None)
+        # Absent in pre-epoch snapshots (both then fall back to their
+        # defaults, exactly what those services ran with).
+        cache_config = {
+            "plan_cache_entries": state.get("plan_cache_entries"),
+            "answer_cache_entries": state.get("answer_cache_entries"),
+        }
         if state.get("distributed") is not None:
             distributed = state["distributed"]
             service = cls(state["mechanism"], float(state["epsilon"]),
@@ -726,6 +803,7 @@ class QueryService:
                           refinalize_every=state.get("refinalize_every"),
                           total_users=state.get("total_users"),
                           domain_size=state.get("domain_size"),
+                          **cache_config,
                           **dict(distributed.get("kwargs") or {}))
             schema = distributed.get("schema")
             if schema is not None:
@@ -744,7 +822,6 @@ class QueryService:
                         # original worker placement (keys are submission
                         # indices), without touching ingest counters.
                         service._tier.submit(rows.reshape(-1, int(schema[0])))
-            service._estimator = estimator
         elif state.get("refit") is not None:
             refit = state["refit"]
             service = cls(state["mechanism"], float(state["epsilon"]),
@@ -752,12 +829,12 @@ class QueryService:
                           refinalize_every=state.get("refinalize_every"),
                           total_users=state.get("total_users"),
                           domain_size=state.get("domain_size"),
+                          **cache_config,
                           **dict(refit.get("kwargs") or {}))
             service._pending_rows = [np.asarray(batch, dtype=np.int64)
                                      for batch in refit["pending_rows"]]
             schema = refit.get("pending_schema")
             service._pending_schema = tuple(schema) if schema else None
-            service._estimator = estimator
         elif state.get("collector_config") is not None:
             factory = SHARDABLE_MECHANISMS[state["mechanism"]]
             collector = factory(float(state["epsilon"]), seed=seed,
@@ -769,18 +846,28 @@ class QueryService:
             service = cls(collector,
                           refinalize_every=state.get("refinalize_every"),
                           total_users=state.get("total_users"),
-                          domain_size=state.get("domain_size"))
-            service._estimator = estimator
+                          domain_size=state.get("domain_size"),
+                          **cache_config)
         else:
             if estimator is None:
                 raise ValueError("snapshot holds neither an estimator nor "
                                  "a collector")
             service = cls(estimator,
-                          domain_size=state.get("domain_size"))
+                          domain_size=state.get("domain_size"),
+                          **cache_config)
         service.reports_ingested = int(state.get("reports_ingested", 0))
         service.reports_since_finalize = int(
             state.get("reports_since_finalize", 0))
         service.finalize_count = int(state.get("finalize_count", 0))
+        # Publish the restored estimator as the epoch the snapshot
+        # recorded (pre-epoch snapshots fall back to the next local id).
+        stored_epoch = state.get("epoch_id")
+        if estimator is not None:
+            service._publish(estimator,
+                             epoch_id=(int(stored_epoch)
+                                       if stored_epoch else None))
+        elif stored_epoch:
+            service._epoch_counter = int(stored_epoch)
         return service
 
     def save_snapshot(self,

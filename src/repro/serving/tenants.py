@@ -73,7 +73,8 @@ logger = logging.getLogger("repro.serving")
 #: Tenant-config keys forwarded to the QueryService constructor.
 _SERVICE_CONFIG_KEYS = ("mechanism", "epsilon", "seed", "refinalize_every",
                         "total_users", "domain_size", "ingest_mode",
-                        "ingest_workers")
+                        "ingest_workers", "plan_cache_entries",
+                        "answer_cache_entries")
 
 
 class QuotaExceededError(ServiceError):
@@ -235,6 +236,12 @@ class TenantManager:
     # Registry
     # ------------------------------------------------------------------
     def _runtime(self, tenant: str) -> _TenantRuntime:
+        # Fast path: a plain dict read is atomic under the GIL, so the
+        # (overwhelmingly common) hit on a hosted tenant resolves
+        # lock-free — query threads never contend on the registry lock.
+        runtime = self._runtimes.get(tenant)
+        if runtime is not None:
+            return runtime
         with self._registry_lock:
             runtime = self._runtimes.get(tenant)
             quarantined = self._quarantined.get(tenant)
